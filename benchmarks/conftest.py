@@ -1,0 +1,19 @@
+"""Shared helpers for the figure benchmarks.
+
+Every benchmark runs its experiment driver exactly once (``rounds=1``), prints
+the regenerated table (visible with ``pytest -s``) and applies light sanity
+assertions on the *shape* of the result (who wins, roughly by how much), which
+is the level at which the reproduction is expected to match the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, driver, *args, **kwargs):
+    """Run an experiment driver once under pytest-benchmark and print its table."""
+    result = benchmark.pedantic(lambda: driver(*args, **kwargs), rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    return result

@@ -1,0 +1,14 @@
+"""Appendix B: observed re-optimization round counts vs the special-case bounds."""
+
+from conftest import run_once
+
+from repro.bench.experiments import appendix_b_bounds
+
+
+def test_bench_appendix_b_bounds(benchmark):
+    result = run_once(benchmark, appendix_b_bounds, num_queries=10, num_tables=5)
+    assert len(result.rows) == 10
+    for row in result.rows:
+        # Observed rounds stay far below the general O(sqrt(N)) behaviour and
+        # comparable to the special-case expectations.
+        assert row["observed_rounds"] <= row["underestimation_S_N_over_M"] + row["overestimation_bound_m_plus_1"]

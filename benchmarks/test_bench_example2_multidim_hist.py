@@ -1,0 +1,15 @@
+"""Section 5.3.1 / Example 2: 2-D histograms cannot separate OTT empty joins."""
+
+from conftest import run_once
+
+from repro.bench.experiments import example2_multidimensional_histograms
+
+
+def test_bench_example2_multidim_histograms(benchmark):
+    result = run_once(benchmark, example2_multidimensional_histograms)
+    empty_row, nonempty_row = result.rows
+    # The histogram gives the same estimate for the empty and the non-empty
+    # query (Example 2), while the true selectivities differ enormously.
+    assert abs(empty_row["estimated_selectivity"] - nonempty_row["estimated_selectivity"]) < 1e-9
+    assert empty_row["true_selectivity"] == 0.0
+    assert nonempty_row["true_selectivity"] > 0.0

@@ -1,0 +1,17 @@
+"""Figure 3: S_N versus N, compared with the sqrt(N) envelopes."""
+
+import math
+
+from conftest import run_once
+
+from repro.bench.experiments import figure3_sn_curve
+
+
+def test_bench_figure3_sn_curve(benchmark):
+    result = run_once(benchmark, figure3_sn_curve, max_n=1000, step=50)
+    # The paper's Figure 3: S_N grows like sqrt(N) and stays below 2*sqrt(N).
+    for row in result.rows:
+        assert row["S_N"] <= 2.0 * math.sqrt(row["N"]) + 1e-9
+    final = result.rows[-1]
+    assert final["N"] == 1000
+    assert final["S_N"] > math.sqrt(1000) * 0.9

@@ -1,0 +1,19 @@
+"""Figure 4: TPC-H (uniform, z=0) running time, original vs re-optimized plan."""
+
+from conftest import run_once
+
+from repro.bench.experiments import figure4_7_tpch_running_time
+
+
+def test_bench_figure4a_without_calibration(benchmark):
+    result = run_once(benchmark, figure4_7_tpch_running_time, zipf_z=0.0, calibrated=False)
+    assert len(result.rows) == 21  # Q15 excluded, as in the paper.
+    # Paper observation: on the uniform database most plans do not change and
+    # re-optimization never makes a query dramatically worse.
+    for row in result.rows:
+        assert row["reoptimized_sim_cost"] <= row["original_sim_cost"] * 2.0 + 1e-6
+
+
+def test_bench_figure4b_with_calibration(benchmark):
+    result = run_once(benchmark, figure4_7_tpch_running_time, zipf_z=0.0, calibrated=True)
+    assert len(result.rows) == 21

@@ -1,0 +1,14 @@
+"""Figure 5: number of plans generated during re-optimization (uniform TPC-H)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import figure5_8_tpch_num_plans
+
+
+def test_bench_figure5_num_plans(benchmark):
+    result = run_once(benchmark, figure5_8_tpch_num_plans, zipf_z=0.0)
+    assert len(result.rows) == 21
+    # The paper reports fewer than 10 rounds for every query, most needing 1-2
+    # distinct plans (the count includes the final confirming invocation).
+    for row in result.rows:
+        assert 2 <= row["plans_without_calibration"] < 10

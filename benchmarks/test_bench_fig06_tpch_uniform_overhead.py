@@ -1,0 +1,15 @@
+"""Figure 6: TPC-H (uniform) running time excluding vs including re-optimization time."""
+
+from conftest import run_once
+
+from repro.bench.experiments import figure6_9_tpch_overhead
+
+
+def test_bench_figure6a_overhead_without_calibration(benchmark):
+    result = run_once(benchmark, figure6_9_tpch_overhead, zipf_z=0.0, calibrated=False)
+    assert len(result.rows) == 21
+    for row in result.rows:
+        assert row["reopt_plus_execution_s"] >= row["execution_only_s"]
+        # The paper's observation: re-optimization overhead is small in absolute
+        # terms (it only runs plans over samples).
+        assert row["reopt_overhead_s"] < 30.0

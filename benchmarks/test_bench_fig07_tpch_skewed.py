@@ -1,0 +1,15 @@
+"""Figure 7: TPC-H (skewed, z=1) running time, original vs re-optimized plan."""
+
+from conftest import run_once
+
+from repro.bench.experiments import figure4_7_tpch_running_time
+
+
+def test_bench_figure7a_without_calibration(benchmark):
+    result = run_once(benchmark, figure4_7_tpch_running_time, zipf_z=1.0, calibrated=False)
+    assert len(result.rows) == 21
+
+
+def test_bench_figure7b_with_calibration(benchmark):
+    result = run_once(benchmark, figure4_7_tpch_running_time, zipf_z=1.0, calibrated=True)
+    assert len(result.rows) == 21

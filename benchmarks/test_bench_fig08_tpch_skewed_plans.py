@@ -1,0 +1,12 @@
+"""Figure 8: number of plans generated during re-optimization (skewed TPC-H)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import figure5_8_tpch_num_plans
+
+
+def test_bench_figure8_num_plans(benchmark):
+    result = run_once(benchmark, figure5_8_tpch_num_plans, zipf_z=1.0)
+    assert len(result.rows) == 21
+    for row in result.rows:
+        assert 2 <= row["plans_without_calibration"] < 10

@@ -1,0 +1,12 @@
+"""Figure 9: TPC-H (skewed) running time excluding vs including re-optimization time."""
+
+from conftest import run_once
+
+from repro.bench.experiments import figure6_9_tpch_overhead
+
+
+def test_bench_figure9a_overhead_without_calibration(benchmark):
+    result = run_once(benchmark, figure6_9_tpch_overhead, zipf_z=1.0, calibrated=False)
+    assert len(result.rows) == 21
+    for row in result.rows:
+        assert row["reopt_plus_execution_s"] >= row["execution_only_s"]

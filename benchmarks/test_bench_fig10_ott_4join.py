@@ -1,0 +1,25 @@
+"""Figure 10: OTT 4-join queries, original vs re-optimized running time."""
+
+from conftest import run_once
+
+from repro.bench.experiments import figure10_11_ott_running_time
+
+
+def _check_shape(result):
+    # The paper's headline: after re-optimization every OTT query is cheap,
+    # while several original plans are orders of magnitude more expensive.
+    reopt_costs = [row["reoptimized_sim_cost"] for row in result.rows]
+    orig_costs = [row["original_sim_cost"] for row in result.rows]
+    assert max(reopt_costs) <= min(orig_costs) * 1.5
+    assert max(orig_costs) > 10.0 * max(reopt_costs)
+
+
+def test_bench_figure10a_without_calibration(benchmark):
+    result = run_once(benchmark, figure10_11_ott_running_time, joins=4, calibrated=False)
+    assert len(result.rows) == 10
+    _check_shape(result)
+
+
+def test_bench_figure10b_with_calibration(benchmark):
+    result = run_once(benchmark, figure10_11_ott_running_time, joins=4, calibrated=True)
+    assert len(result.rows) == 10

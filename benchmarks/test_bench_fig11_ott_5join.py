@@ -1,0 +1,17 @@
+"""Figure 11: OTT 5-join queries, original vs re-optimized running time."""
+
+from conftest import run_once
+
+from repro.bench.experiments import figure10_11_ott_running_time
+
+
+def test_bench_figure11a_without_calibration(benchmark):
+    result = run_once(
+        benchmark, figure10_11_ott_running_time, joins=5, calibrated=False, num_queries=10
+    )
+    assert len(result.rows) == 10
+    reopt_costs = [row["reoptimized_sim_cost"] for row in result.rows]
+    orig_costs = [row["original_sim_cost"] for row in result.rows]
+    # Re-optimized plans are uniformly cheap; at least one original plan pays
+    # the "torture" price of materialising a huge intermediate result.
+    assert max(orig_costs) > 10.0 * max(reopt_costs)

@@ -1,0 +1,15 @@
+"""Figure 12: OTT queries on the "commercial system A" optimizer profile."""
+
+from conftest import run_once
+
+from repro.bench.experiments import figure12_13_ott_commercial
+
+
+def test_bench_figure12_system_a_4join(benchmark):
+    result = run_once(benchmark, figure12_13_ott_commercial, profile="system_a", joins=4)
+    assert len(result.rows) == 10
+    # The profile still relies on the AVI assumption, so at least one original
+    # plan hits the torture case (matching the paper's observation that the
+    # commercial systems behave like PostgreSQL on OTT).
+    costs = [row["original_sim_cost"] for row in result.rows]
+    assert max(costs) > 5.0 * min(costs)

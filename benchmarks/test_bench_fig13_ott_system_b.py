@@ -1,0 +1,12 @@
+"""Figure 13: OTT queries on the "commercial system B" optimizer profile."""
+
+from conftest import run_once
+
+from repro.bench.experiments import figure12_13_ott_commercial
+
+
+def test_bench_figure13_system_b_4join(benchmark):
+    result = run_once(benchmark, figure12_13_ott_commercial, profile="system_b", joins=4)
+    assert len(result.rows) == 10
+    costs = [row["original_sim_cost"] for row in result.rows]
+    assert max(costs) > 5.0 * min(costs)

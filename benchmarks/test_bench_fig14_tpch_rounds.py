@@ -1,0 +1,13 @@
+"""Figure 14: per-round plan running time during re-optimization (TPC-H Q8/Q9/Q21)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import figure14_tpch_rounds
+
+
+def test_bench_figure14_per_round_costs(benchmark):
+    result = run_once(benchmark, figure14_tpch_rounds, query_numbers=(8, 9, 21))
+    assert result.rows, "expected at least one per-round record"
+    # Every recorded per-round cost is positive and finite.
+    for row in result.rows:
+        assert row["simulated_cost"] > 0.0

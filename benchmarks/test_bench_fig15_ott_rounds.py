@@ -1,0 +1,18 @@
+"""Figure 15: per-round plan running time during re-optimization (OTT queries)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import figure15_ott_rounds
+
+
+def test_bench_figure15a_4join(benchmark):
+    result = run_once(benchmark, figure15_ott_rounds, joins=4, num_queries=6)
+    assert result.rows
+    # The last round of each query (the fixed point) is never more expensive
+    # than its first round (Theorem 5's guarantee, modulo sampling noise the
+    # OTT data does not exhibit).
+    by_query = {}
+    for row in result.rows:
+        by_query.setdefault(row["query"], []).append(row["simulated_cost"])
+    for costs in by_query.values():
+        assert costs[-1] <= costs[0] * 1.05

@@ -1,0 +1,14 @@
+"""Figure 16: number of plans generated during re-optimization (OTT queries)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import figure16_ott_num_plans
+
+
+def test_bench_figure16a_4join(benchmark):
+    result = run_once(benchmark, figure16_ott_num_plans, joins=4)
+    assert len(result.rows) == 10
+    # The paper observes 2-8 plans for the OTT queries and convergence for all.
+    for row in result.rows:
+        assert 2 <= row["plans_generated"] <= 12
+        assert row["converged"]

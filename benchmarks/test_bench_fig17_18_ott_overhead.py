@@ -1,0 +1,17 @@
+"""Figures 17/18: OTT running time excluding vs including re-optimization time."""
+
+from conftest import run_once
+
+from repro.bench.experiments import figure17_18_ott_overhead
+
+
+def test_bench_figure17_4join_overhead(benchmark):
+    result = run_once(benchmark, figure17_18_ott_overhead, joins=4)
+    assert len(result.rows) == 10
+    for row in result.rows:
+        assert row["reopt_plus_execution_s"] >= row["execution_only_s"]
+
+
+def test_bench_figure18_5join_overhead(benchmark):
+    result = run_once(benchmark, figure17_18_ott_overhead, joins=5)
+    assert len(result.rows) == 10

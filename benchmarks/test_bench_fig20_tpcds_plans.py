@@ -1,0 +1,12 @@
+"""Figure 20: number of plans generated during re-optimization (TPC-DS)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import figure20_tpcds_num_plans
+
+
+def test_bench_figure20_num_plans(benchmark):
+    result = run_once(benchmark, figure20_tpcds_num_plans)
+    assert len(result.rows) == 30
+    for row in result.rows:
+        assert 2 <= row["plans_without_calibration"] < 10

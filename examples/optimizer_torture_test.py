@@ -1,0 +1,51 @@
+"""The Optimizer Torture Test (Section 4/5.3): a whole workload, three optimizers.
+
+Generates the OTT database, runs the 4-join query set against the PostgreSQL
+profile and the two "commercial system" profiles, and shows that (a) every
+AVI-based optimizer falls into the same trap on some queries and (b)
+re-optimization repairs all of them.
+
+Run with:  python examples/optimizer_torture_test.py
+"""
+
+from __future__ import annotations
+
+from repro import Executor, Optimizer, reoptimize
+from repro.optimizer.profiles import OPTIMIZER_PROFILES
+from repro.workloads.ott import generate_ott_database, make_ott_workload
+
+
+def main() -> None:
+    db = generate_ott_database(
+        num_tables=5, rows_per_table=4000, rows_per_value=50, seed=11, sampling_ratio=0.25
+    )
+    queries = make_ott_workload(db, num_tables=5, num_queries=8, seed=11)
+    executor = Executor(db)
+
+    print("=== original plans under three optimizer profiles (simulated cost) ===")
+    header = f"{'query':10s}" + "".join(f"{name:>14s}" for name in OPTIMIZER_PROFILES)
+    print(header)
+    for query in queries:
+        row = f"{query.name:10s}"
+        for name, settings in OPTIMIZER_PROFILES.items():
+            plan = Optimizer(db, settings).optimize(query)
+            execution = executor.execute_plan(plan, query)
+            row += f"{execution.simulated_cost:14,.0f}"
+        print(row)
+
+    print("\n=== after sampling-based re-optimization (PostgreSQL profile) ===")
+    print(f"{'query':10s}{'original':>14s}{'re-optimized':>14s}{'rounds':>8s}")
+    for query in queries:
+        result = reoptimize(db, query)
+        original = executor.execute_plan(result.original_plan, query)
+        final = executor.execute_plan(result.final_plan, query)
+        print(
+            f"{query.name:10s}{original.simulated_cost:14,.0f}"
+            f"{final.simulated_cost:14,.0f}{result.rounds:8d}"
+        )
+    print("\nEvery re-optimized plan evaluates the empty join early, so all "
+          "queries finish with a tiny amount of work — the paper's Figure 10/11 shape.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Plain-text reporting of experiment results.
+
+Every experiment driver returns an :class:`ExperimentResult`: a titled list of
+row dictionaries plus the column order to print.  ``to_text()`` renders the
+same rows/series the corresponding figure of the paper plots, so running a
+bench with ``-s`` shows a table that can be compared side by side with the
+paper (and is what EXPERIMENTS.md records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one regenerated table/figure."""
+
+    experiment: str
+    description: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        """Append one row (missing columns render as blanks)."""
+        self.rows.append(values)
+
+    def column_values(self, column: str) -> List[object]:
+        """All values of one column, in row order."""
+        return [row.get(column) for row in self.rows]
+
+    def to_text(self, max_rows: Optional[int] = None) -> str:
+        """Render the result as an aligned plain-text table."""
+        rows = self.rows if max_rows is None else self.rows[:max_rows]
+        formatted: List[List[str]] = []
+        for row in rows:
+            formatted.append([_format_value(row.get(column)) for column in self.columns])
+        widths = [len(column) for column in self.columns]
+        for line in formatted:
+            for index, cell in enumerate(line):
+                widths[index] = max(widths[index], len(cell))
+        header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(self.columns))
+        separator = "  ".join("-" * widths[i] for i in range(len(self.columns)))
+        body = [
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)) for line in formatted
+        ]
+        lines = [f"== {self.experiment}: {self.description} ==", header, separator, *body]
+        if max_rows is not None and len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()
+
+
+def _format_value(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,17 @@
+"""Cardinality estimation: histogram/AVI estimates, sampling estimates and Γ."""
+
+from __future__ import annotations
+
+from repro.cardinality.estimator import CardinalityEstimator
+from repro.cardinality.gamma import Gamma
+from repro.cardinality.join_estimation import equijoin_selectivity
+from repro.cardinality.sampling_estimator import SamplingEstimator
+from repro.cardinality.selectivity import local_predicate_selectivity
+
+__all__ = [
+    "CardinalityEstimator",
+    "Gamma",
+    "SamplingEstimator",
+    "equijoin_selectivity",
+    "local_predicate_selectivity",
+]

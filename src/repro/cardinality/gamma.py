@@ -1,0 +1,93 @@
+"""Γ — the store of sampling-validated cardinalities (Algorithm 1).
+
+Algorithm 1 maintains a set Γ of cardinality estimates that have been
+validated by sampling.  Each entry maps a *join set* — the set of relation
+aliases joined together (local predicates of the query applied) — to the
+validated number of rows.  Singleton sets record validated base-table
+cardinalities after their local selections.
+
+Γ only ever grows during re-optimization (``Γ ← Γ ∪ Δ_i``); when the same
+join set is re-validated the newer estimate wins, which is what "merging"
+means operationally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple
+
+#: A join set: the relation aliases joined together.
+JoinSet = FrozenSet[str]
+
+
+@dataclass
+class Gamma:
+    """Validated cardinalities keyed by join set."""
+
+    _cardinalities: Dict[JoinSet, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def record(self, relations: Iterable[str], cardinality: float) -> None:
+        """Record (or overwrite) the validated cardinality of one join set."""
+        key = frozenset(relations)
+        if not key:
+            raise ValueError("cannot record a cardinality for an empty join set")
+        self._cardinalities[key] = float(cardinality)
+
+    def merge(self, delta: Mapping[JoinSet, float] | "Gamma") -> int:
+        """Merge ``delta`` into Γ; return how many entries were new.
+
+        The return value drives the coverage argument: a plan whose validation
+        adds zero new entries is covered by the earlier plans (Theorem 1).
+        """
+        if isinstance(delta, Gamma):
+            items: Iterable[Tuple[JoinSet, float]] = delta._cardinalities.items()
+        else:
+            items = delta.items()
+        newly_added = 0
+        for key, value in items:
+            key = frozenset(key)
+            if key not in self._cardinalities:
+                newly_added += 1
+            self._cardinalities[key] = float(value)
+        return newly_added
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def get(self, relations: Iterable[str]) -> Optional[float]:
+        """Return the validated cardinality of a join set, or None if unknown."""
+        return self._cardinalities.get(frozenset(relations))
+
+    def __contains__(self, relations: Iterable[str]) -> bool:
+        return frozenset(relations) in self._cardinalities
+
+    def __len__(self) -> int:
+        return len(self._cardinalities)
+
+    def __iter__(self) -> Iterator[JoinSet]:
+        return iter(self._cardinalities)
+
+    def items(self) -> Iterable[Tuple[JoinSet, float]]:
+        """Iterate over (join set, cardinality) pairs."""
+        return self._cardinalities.items()
+
+    def copy(self) -> "Gamma":
+        """Return an independent copy (used by what-if experiments)."""
+        clone = Gamma()
+        clone._cardinalities = dict(self._cardinalities)
+        return clone
+
+    def covered_join_sets(self) -> FrozenSet[JoinSet]:
+        """All join sets with a validated cardinality."""
+        return frozenset(self._cardinalities)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        entries = ", ".join(
+            f"{{{','.join(sorted(k))}}}={v:.1f}" for k, v in sorted(
+                self._cardinalities.items(), key=lambda item: (len(item[0]), sorted(item[0]))
+            )
+        )
+        return f"Gamma({entries})"

@@ -1,0 +1,250 @@
+"""The sampling-based cardinality estimator of Haas et al. (Section 2.1).
+
+For a join query ``q = R1 ⋈ ... ⋈ RK`` the estimator runs the join over the
+per-table samples ``R1s ... RKs`` and scales the observed cardinality back up:
+
+    |q|_hat = |R1s ⋈ ... ⋈ RKs| * (|R1| / |R1s|) * ... * (|RK| / |RKs|)
+
+which is exactly ``rho_hat * |R1| * ... * |RK|`` with ``rho_hat`` the paper's
+selectivity estimator.  The estimator is unbiased and strongly consistent for
+Bernoulli samples.  Local predicates of the query are applied to the samples
+before joining, so the same machinery also yields validated base-table
+(selection) cardinalities.
+
+``validate_plan`` is the entry point Algorithm 1 uses: it computes the
+sampling estimate for every join appearing in a plan (plus the scanned base
+relations) and returns them as a Δ mapping ready to be merged into Γ.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cardinality.gamma import JoinSet
+from repro.errors import SamplingError
+from repro.plans.nodes import JoinNode, PlanNode, ScanNode
+from repro.sql.ast import JoinPredicate, LocalPredicate, Query
+from repro.storage.catalog import Database
+from repro.storage.sampling import SampleSet
+
+
+def _apply_local_predicates(
+    columns: Dict[str, np.ndarray], alias: str, predicates: Sequence[LocalPredicate]
+) -> Dict[str, np.ndarray]:
+    """Filter a column mapping by the conjunction of local predicates."""
+    if not predicates:
+        return columns
+    num_rows = len(next(iter(columns.values()))) if columns else 0
+    mask = np.ones(num_rows, dtype=bool)
+    for predicate in predicates:
+        values = columns[f"{alias}.{predicate.column}"]
+        if predicate.op == "=":
+            mask &= values == predicate.value
+        elif predicate.op == "<>":
+            mask &= values != predicate.value
+        elif predicate.op == "<":
+            mask &= values < predicate.value
+        elif predicate.op == "<=":
+            mask &= values <= predicate.value
+        elif predicate.op == ">":
+            mask &= values > predicate.value
+        else:
+            mask &= values >= predicate.value
+    return {name: array[mask] for name, array in columns.items()}
+
+
+def _join_columns(
+    left: Dict[str, np.ndarray],
+    right: Dict[str, np.ndarray],
+    predicates: Sequence[JoinPredicate],
+    left_aliases: FrozenSet[str],
+) -> Dict[str, np.ndarray]:
+    """Hash-join two column mappings on the given equi-join predicates."""
+    left_rows = len(next(iter(left.values()))) if left else 0
+    right_rows = len(next(iter(right.values()))) if right else 0
+    if left_rows == 0 or right_rows == 0:
+        return {name: array[:0] for name, array in {**left, **right}.items()}
+    if not predicates:
+        # Cross product (should be rare: only for disconnected join graphs).
+        left_index = np.repeat(np.arange(left_rows), right_rows)
+        right_index = np.tile(np.arange(right_rows), left_rows)
+    else:
+        first, *rest = predicates
+        if first.left_alias in left_aliases:
+            left_key = left[f"{first.left_alias}.{first.left_column}"]
+            right_key = right[f"{first.right_alias}.{first.right_column}"]
+        else:
+            left_key = left[f"{first.right_alias}.{first.right_column}"]
+            right_key = right[f"{first.left_alias}.{first.left_column}"]
+        order = np.argsort(right_key, kind="stable")
+        sorted_right = right_key[order]
+        starts = np.searchsorted(sorted_right, left_key, side="left")
+        ends = np.searchsorted(sorted_right, left_key, side="right")
+        counts = ends - starts
+        left_index = np.repeat(np.arange(left_rows), counts)
+        if counts.sum() == 0:
+            right_index = np.empty(0, dtype=np.int64)
+        else:
+            offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            positions = np.arange(counts.sum()) - np.repeat(offsets, counts)
+            right_index = order[np.repeat(starts, counts) + positions]
+        # Apply remaining predicates as residual filters on the matched pairs.
+        for predicate in rest:
+            if predicate.left_alias in left_aliases:
+                left_values = left[f"{predicate.left_alias}.{predicate.left_column}"][left_index]
+                right_values = right[f"{predicate.right_alias}.{predicate.right_column}"][right_index]
+            else:
+                left_values = left[f"{predicate.right_alias}.{predicate.right_column}"][left_index]
+                right_values = right[f"{predicate.left_alias}.{predicate.left_column}"][right_index]
+            keep = left_values == right_values
+            left_index = left_index[keep]
+            right_index = right_index[keep]
+    result: Dict[str, np.ndarray] = {}
+    for name, array in left.items():
+        result[name] = array[left_index]
+    for name, array in right.items():
+        result[name] = array[right_index]
+    return result
+
+
+@dataclass
+class SamplingValidation:
+    """The Δ of one validation round: cardinalities plus bookkeeping."""
+
+    cardinalities: Dict[JoinSet, float] = field(default_factory=dict)
+    #: Wall-clock seconds spent running plans over samples in this round.
+    elapsed_seconds: float = 0.0
+    #: Number of distinct join sets evaluated over samples.
+    joins_validated: int = 0
+
+
+class SamplingEstimator:
+    """Run (sub-)joins of a query over sample tables and scale the counts up."""
+
+    def __init__(self, db: Database, query: Query, samples: Optional[SampleSet] = None) -> None:
+        self.db = db
+        self.query = query
+        self.samples = samples if samples is not None else db.samples
+        if self.samples is None:
+            raise SamplingError(
+                "no sample tables available; call Database.create_samples() first"
+            )
+        #: Cache of filtered sample columns per alias.
+        self._filtered_cache: Dict[str, Dict[str, np.ndarray]] = {}
+        #: Cache of sampling estimates per join set (samples are fixed, so the
+        #: estimate for a join set never changes within one re-optimization).
+        self._estimate_cache: Dict[JoinSet, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Sample-side evaluation
+    # ------------------------------------------------------------------ #
+    def _filtered_sample(self, alias: str) -> Dict[str, np.ndarray]:
+        """The sample of ``alias`` with the query's local predicates applied."""
+        if alias in self._filtered_cache:
+            return self._filtered_cache[alias]
+        table_name = self.query.table_for_alias(alias)
+        sample = self.samples.sample_for(table_name)
+        columns = {f"{alias}.{name}": sample.column(name) for name in sample.column_names}
+        filtered = _apply_local_predicates(
+            columns, alias, self.query.local_predicates_for(alias)
+        )
+        self._filtered_cache[alias] = filtered
+        return filtered
+
+    def _sample_join_count(self, aliases: FrozenSet[str]) -> int:
+        """Number of rows the join of ``aliases`` produces over the samples."""
+        ordered = self._join_order(aliases)
+        current = dict(self._filtered_sample(ordered[0]))
+        included = frozenset({ordered[0]})
+        for alias in ordered[1:]:
+            predicates = self.query.join_predicates_between(included, {alias})
+            current = _join_columns(current, self._filtered_sample(alias), predicates, included)
+            included = included | {alias}
+            if not current or len(next(iter(current.values()))) == 0:
+                return 0
+        return len(next(iter(current.values()))) if current else 0
+
+    def _join_order(self, aliases: FrozenSet[str]) -> List[str]:
+        """Order the aliases so each one (after the first) joins what came before.
+
+        A breadth-first traversal of the query's join graph restricted to the
+        requested aliases; relations unreachable through join predicates are
+        appended at the end (they contribute a cross product).
+        """
+        graph = self.query.join_graph().subgraph(aliases)
+        remaining = set(aliases)
+        ordered: List[str] = []
+        while remaining:
+            start = sorted(remaining)[0]
+            frontier = [start]
+            seen = {start}
+            while frontier:
+                node = frontier.pop(0)
+                ordered.append(node)
+                remaining.discard(node)
+                for neighbor in sorted(graph.neighbors(node)):
+                    if neighbor in remaining and neighbor not in seen:
+                        seen.add(neighbor)
+                        frontier.append(neighbor)
+        return ordered
+
+    # ------------------------------------------------------------------ #
+    # Public estimation API
+    # ------------------------------------------------------------------ #
+    def estimate_cardinality(self, aliases: Iterable[str]) -> float:
+        """Sampling-based estimate of the join of ``aliases`` on the full data."""
+        key = frozenset(aliases)
+        if not key:
+            raise ValueError("join set must contain at least one relation")
+        if key in self._estimate_cache:
+            return self._estimate_cache[key]
+        observed = self._sample_join_count(key)
+        scale = 1.0
+        for alias in key:
+            table_name = self.query.table_for_alias(alias)
+            scale *= self.samples.scale_factor(table_name)
+        estimate = observed * scale
+        self._estimate_cache[key] = estimate
+        return estimate
+
+    def estimate_selectivity(self, aliases: Iterable[str]) -> float:
+        """The paper's rho_hat: sample join size over the product of sample sizes."""
+        key = frozenset(aliases)
+        observed = self._sample_join_count(key)
+        denominator = 1.0
+        for alias in key:
+            table_name = self.query.table_for_alias(alias)
+            denominator *= max(1, self.samples.sample_for(table_name).num_rows)
+        return observed / denominator
+
+    def validate_plan(
+        self, plan: PlanNode, validate_base_relations: bool = False
+    ) -> SamplingValidation:
+        """Validate every join of ``plan`` (Algorithm 1, line 9).
+
+        Returns the Δ of Algorithm 1: a mapping from join set to the
+        sampling-based cardinality estimate.  Following the paper (Section 2:
+        "we focus on using sampling to refine selectivity estimates for join
+        predicates"), only join nodes are validated by default; pass
+        ``validate_base_relations=True`` to also validate the base-relation
+        selections (useful for ablation experiments).
+        """
+        started = time.perf_counter()
+        validation = SamplingValidation()
+        join_sets: List[FrozenSet[str]] = []
+        for node in plan.walk():
+            if isinstance(node, ScanNode) and validate_base_relations:
+                join_sets.append(frozenset({node.alias}))
+            elif isinstance(node, JoinNode):
+                join_sets.append(frozenset(node.relations))
+        for join_set in join_sets:
+            if join_set in validation.cardinalities:
+                continue
+            validation.cardinalities[join_set] = self.estimate_cardinality(join_set)
+            validation.joins_validated += 1
+        validation.elapsed_seconds = time.perf_counter() - started
+        return validation

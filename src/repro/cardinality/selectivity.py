@@ -1,0 +1,117 @@
+"""Selectivity estimation for local predicates (PostgreSQL-style).
+
+The estimation mirrors what the paper describes in Section 4.2.1 for
+PostgreSQL:
+
+* equality ``A = c`` — if ``c`` is in the MCV list, use its recorded (exact)
+  frequency; otherwise assume the non-MCV rows are uniformly spread over the
+  non-MCV distinct values;
+* inequality / range predicates — use the equal-depth histogram (with linear
+  interpolation in the boundary bucket), combined with the MCV list;
+* conjunctions of predicates on the *same or different* columns — multiply the
+  individual selectivities (the attribute-value-independence assumption).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.sql.ast import LocalPredicate
+from repro.stats.statistics import ColumnStatistics
+
+#: Selectivity assigned when statistics are entirely missing for a column.
+DEFAULT_EQ_SELECTIVITY = 0.005
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+#: Lower bound so that estimates never become exactly zero (PostgreSQL never
+#: estimates zero rows either); keeps costs well-defined.
+MIN_SELECTIVITY = 1.0e-9
+
+
+def _clamp(selectivity: float) -> float:
+    """Clamp a selectivity into ``[MIN_SELECTIVITY, 1.0]``."""
+    return max(MIN_SELECTIVITY, min(1.0, selectivity))
+
+
+def equality_selectivity(stats: Optional[ColumnStatistics], value: object) -> float:
+    """Selectivity of ``column = value``."""
+    if stats is None or stats.num_rows == 0 or stats.n_distinct == 0:
+        return DEFAULT_EQ_SELECTIVITY
+    mcv_fraction = stats.mcv_fraction_for(value)
+    if mcv_fraction is not None:
+        return _clamp(mcv_fraction)
+    # The value is not an MCV: the remaining mass is spread uniformly over the
+    # non-MCV distinct values.
+    remaining_fraction = max(0.0, 1.0 - stats.mcv_total_fraction)
+    remaining_distinct = stats.non_mcv_distinct()
+    if stats.num_mcvs and stats.num_mcvs >= stats.n_distinct:
+        # Every distinct value is an MCV, so an unseen constant matches nothing.
+        return MIN_SELECTIVITY
+    return _clamp(remaining_fraction / remaining_distinct)
+
+
+def inequality_selectivity(stats: Optional[ColumnStatistics], op: str, value: object) -> float:
+    """Selectivity of ``column op value`` for ``op`` in ``<, <=, >, >=``."""
+    if stats is None or not stats.is_numeric:
+        return DEFAULT_RANGE_SELECTIVITY
+    try:
+        numeric_value = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return DEFAULT_RANGE_SELECTIVITY
+
+    # Fraction contributed by MCVs satisfying the predicate (exact).
+    mcv_part = 0.0
+    for mcv, fraction in zip(stats.mcv_values, stats.mcv_fractions):
+        try:
+            mcv_numeric = float(mcv)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            continue
+        if _compare(mcv_numeric, op, numeric_value):
+            mcv_part += fraction
+
+    non_mcv_fraction = max(0.0, 1.0 - stats.mcv_total_fraction)
+    if stats.histogram is not None:
+        if op == "<":
+            hist_fraction = stats.histogram.fraction_below(numeric_value, inclusive=False)
+        elif op == "<=":
+            hist_fraction = stats.histogram.fraction_below(numeric_value, inclusive=True)
+        elif op == ">":
+            hist_fraction = 1.0 - stats.histogram.fraction_below(numeric_value, inclusive=True)
+        else:  # ">="
+            hist_fraction = 1.0 - stats.histogram.fraction_below(numeric_value, inclusive=False)
+    elif stats.min_value is not None and stats.max_value is not None and stats.max_value > stats.min_value:
+        # No histogram (e.g. all values are MCVs): interpolate over [min, max].
+        position = (numeric_value - stats.min_value) / (stats.max_value - stats.min_value)
+        position = min(1.0, max(0.0, position))
+        hist_fraction = position if op in ("<", "<=") else 1.0 - position
+    else:
+        hist_fraction = DEFAULT_RANGE_SELECTIVITY
+    return _clamp(mcv_part + non_mcv_fraction * hist_fraction)
+
+
+def _compare(left: float, op: str, right: float) -> bool:
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ValueError(f"unsupported operator {op!r}")
+
+
+def local_predicate_selectivity(stats: Optional[ColumnStatistics], predicate: LocalPredicate) -> float:
+    """Selectivity of one local predicate against the column's statistics."""
+    if predicate.op == "=":
+        return equality_selectivity(stats, predicate.value)
+    if predicate.op == "<>":
+        return _clamp(1.0 - equality_selectivity(stats, predicate.value))
+    return inequality_selectivity(stats, predicate.op, predicate.value)
+
+
+def conjunction_selectivity(selectivities: Iterable[float]) -> float:
+    """Combine per-predicate selectivities under attribute-value independence."""
+    result = 1.0
+    for selectivity in selectivities:
+        result *= selectivity
+    return _clamp(result)

@@ -1,0 +1,15 @@
+"""PostgreSQL-style cost model, cost units and offline calibration."""
+
+from __future__ import annotations
+
+from repro.cost.units import CostUnits, DEFAULT_COST_UNITS
+from repro.cost.model import CostModel
+from repro.cost.calibration import CalibrationResult, calibrate_cost_units
+
+__all__ = [
+    "CalibrationResult",
+    "CostModel",
+    "CostUnits",
+    "DEFAULT_COST_UNITS",
+    "calibrate_cost_units",
+]

@@ -1,0 +1,208 @@
+"""The cost model.
+
+Every physical operator's work is expressed as a :class:`ResourceVector` — how
+many sequential page reads, random page reads, tuple visits, index-tuple
+visits and primitive operator evaluations it performs, as a function of its
+input/output cardinalities.  The scalar cost is the dot product of that vector
+with the five :class:`repro.cost.units.CostUnits`, exactly PostgreSQL's
+linear-cost-model structure.  Keeping the vector explicit has two benefits:
+
+* the optimizer and the executor share one set of formulas — the optimizer
+  evaluates them at *estimated* cardinalities, the executor at *actual*
+  cardinalities (the "simulated running time" of the benchmarks);
+* calibration (:mod:`repro.cost.calibration`) can fit the five units by
+  linear regression of observed running time on observed resource vectors,
+  mirroring Wu et al. [40].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cost.units import CostUnits, DEFAULT_COST_UNITS
+from repro.plans.nodes import JoinMethod, ScanMethod
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """Counts of the five primitive operations charged by the cost model."""
+
+    seq_pages: float = 0.0
+    random_pages: float = 0.0
+    tuples: float = 0.0
+    index_tuples: float = 0.0
+    operator_evals: float = 0.0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            seq_pages=self.seq_pages + other.seq_pages,
+            random_pages=self.random_pages + other.random_pages,
+            tuples=self.tuples + other.tuples,
+            index_tuples=self.index_tuples + other.index_tuples,
+            operator_evals=self.operator_evals + other.operator_evals,
+        )
+
+    def as_array(self) -> np.ndarray:
+        """Return the vector in the order of :meth:`CostUnits.as_dict`."""
+        return np.array(
+            [
+                self.seq_pages,
+                self.random_pages,
+                self.tuples,
+                self.index_tuples,
+                self.operator_evals,
+            ],
+            dtype=np.float64,
+        )
+
+
+class CostModel:
+    """Per-operator resource formulas plus the dot product with the cost units."""
+
+    def __init__(self, units: CostUnits = DEFAULT_COST_UNITS, tuples_per_page: int = 100) -> None:
+        self.units = units
+        self.tuples_per_page = tuples_per_page
+
+    # ------------------------------------------------------------------ #
+    # Scalar cost
+    # ------------------------------------------------------------------ #
+    def cost(self, resources: ResourceVector) -> float:
+        """Dot product of a resource vector with the cost units."""
+        return (
+            resources.seq_pages * self.units.seq_page_cost
+            + resources.random_pages * self.units.random_page_cost
+            + resources.tuples * self.units.cpu_tuple_cost
+            + resources.index_tuples * self.units.cpu_index_tuple_cost
+            + resources.operator_evals * self.units.cpu_operator_cost
+        )
+
+    def with_units(self, units: CostUnits) -> "CostModel":
+        """Return a copy of the model using different cost units."""
+        return CostModel(units=units, tuples_per_page=self.tuples_per_page)
+
+    # ------------------------------------------------------------------ #
+    # Scans
+    # ------------------------------------------------------------------ #
+    def _pages(self, rows: float) -> float:
+        return max(1.0, math.ceil(rows / self.tuples_per_page))
+
+    def seq_scan_resources(
+        self, table_rows: float, num_predicates: int, output_rows: float
+    ) -> ResourceVector:
+        """Sequential scan: read every page, visit every tuple, evaluate filters."""
+        return ResourceVector(
+            seq_pages=self._pages(table_rows),
+            tuples=table_rows,
+            operator_evals=num_predicates * table_rows + output_rows,
+        )
+
+    def index_scan_resources(
+        self,
+        table_rows: float,
+        index_matched_rows: float,
+        num_residual_predicates: int,
+        output_rows: float,
+    ) -> ResourceVector:
+        """Index scan: descend the index, fetch matched tuples with random I/O."""
+        matched = max(0.0, index_matched_rows)
+        fetched_pages = min(self._pages(table_rows), max(1.0, matched))
+        return ResourceVector(
+            random_pages=fetched_pages,
+            tuples=matched,
+            index_tuples=matched,
+            operator_evals=math.log2(max(table_rows, 2.0))
+            + num_residual_predicates * matched
+            + output_rows,
+        )
+
+    def scan_resources(
+        self,
+        method: ScanMethod,
+        table_rows: float,
+        output_rows: float,
+        num_predicates: int,
+        index_matched_rows: float = 0.0,
+    ) -> ResourceVector:
+        """Dispatch on the scan method."""
+        if method is ScanMethod.SEQ_SCAN:
+            return self.seq_scan_resources(table_rows, num_predicates, output_rows)
+        residual = max(0, num_predicates - 1)
+        return self.index_scan_resources(table_rows, index_matched_rows, residual, output_rows)
+
+    # ------------------------------------------------------------------ #
+    # Joins
+    # ------------------------------------------------------------------ #
+    def hash_join_resources(
+        self, outer_rows: float, inner_rows: float, output_rows: float
+    ) -> ResourceVector:
+        """Hash join: build a table on the inner input, probe with the outer."""
+        return ResourceVector(
+            tuples=output_rows,
+            operator_evals=2.0 * inner_rows + outer_rows,
+        )
+
+    def merge_join_resources(
+        self, outer_rows: float, inner_rows: float, output_rows: float
+    ) -> ResourceVector:
+        """Sort-merge join: sort both inputs, then a linear merge."""
+        sort_cost = 0.0
+        for rows in (outer_rows, inner_rows):
+            if rows > 1:
+                sort_cost += rows * math.log2(rows)
+        return ResourceVector(
+            tuples=output_rows,
+            operator_evals=sort_cost + outer_rows + inner_rows,
+        )
+
+    def nested_loop_resources(
+        self, outer_rows: float, inner_rows: float, output_rows: float
+    ) -> ResourceVector:
+        """Plain nested loop: compare every pair."""
+        return ResourceVector(
+            tuples=output_rows,
+            operator_evals=max(outer_rows, 1.0) * max(inner_rows, 1.0),
+        )
+
+    def index_nested_loop_resources(
+        self, outer_rows: float, inner_table_rows: float, output_rows: float
+    ) -> ResourceVector:
+        """Index nested loop: one index probe into the inner table per outer row."""
+        descents = max(outer_rows, 1.0) * math.log2(max(inner_table_rows, 2.0))
+        return ResourceVector(
+            random_pages=output_rows,
+            tuples=output_rows,
+            index_tuples=output_rows,
+            operator_evals=descents,
+        )
+
+    def join_resources(
+        self,
+        method: JoinMethod,
+        outer_rows: float,
+        inner_rows: float,
+        output_rows: float,
+        inner_table_rows: float = 0.0,
+    ) -> ResourceVector:
+        """Dispatch on the join method."""
+        if method is JoinMethod.HASH_JOIN:
+            return self.hash_join_resources(outer_rows, inner_rows, output_rows)
+        if method is JoinMethod.MERGE_JOIN:
+            return self.merge_join_resources(outer_rows, inner_rows, output_rows)
+        if method is JoinMethod.NESTED_LOOP:
+            return self.nested_loop_resources(outer_rows, inner_rows, output_rows)
+        return self.index_nested_loop_resources(
+            outer_rows, inner_table_rows or inner_rows, output_rows
+        )
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    def aggregate_resources(self, input_rows: float, output_groups: float) -> ResourceVector:
+        """Hash aggregation: one pass over the input, one output tuple per group."""
+        return ResourceVector(
+            tuples=output_groups,
+            operator_evals=input_rows,
+        )

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so that
+callers embedding the engine can catch a single base class.  The subclasses
+mirror the major subsystems (catalog, SQL front end, planning, execution,
+statistics) and carry human-readable messages rather than error codes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class CatalogError(ReproError):
+    """A table, column, or index was not found or already exists."""
+
+
+class SchemaError(ReproError):
+    """Data does not conform to the declared table schema."""
+
+
+class ParseError(ReproError):
+    """The SQL text could not be parsed into a query AST."""
+
+
+class PlanningError(ReproError):
+    """The optimizer could not produce a plan for the query."""
+
+
+class ExecutionError(ReproError):
+    """A physical plan failed during execution."""
+
+
+class StatisticsError(ReproError):
+    """Statistics were requested but have not been collected (run ANALYZE)."""
+
+
+class CalibrationError(ReproError):
+    """Cost-unit calibration failed (e.g. degenerate observation matrix)."""
+
+
+class SamplingError(ReproError):
+    """Sampling-based estimation was requested without sample tables."""

@@ -1,0 +1,7 @@
+"""Vectorised query executor with cardinality and cost instrumentation."""
+
+from __future__ import annotations
+
+from repro.executor.executor import ExecutionResult, Executor
+
+__all__ = ["ExecutionResult", "Executor"]

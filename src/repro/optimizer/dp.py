@@ -1,0 +1,185 @@
+"""System-R style dynamic-programming join enumeration.
+
+The planner enumerates connected subsets of the query's relations bottom-up
+(smallest subsets first) and keeps, per subset, the cheapest plan found.  For
+every subset it tries every (outer, inner) split into two disjoint
+sub-plans connected by at least one join predicate, and every enabled
+physical join method.  Bushy trees are explored by default; restricting the
+inner side to single relations yields the classic left-deep search.
+
+The number of *distinct join trees* (global transformations, in the paper's
+terminology) examined is tracked in :attr:`DynamicProgrammingPlanner.num_join_trees_considered`
+— that is the ``N`` of the theoretical analysis in Section 3.3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cardinality.estimator import CardinalityEstimator
+from repro.cost.model import CostModel
+from repro.errors import PlanningError
+from repro.optimizer.access_paths import best_scan
+from repro.optimizer.settings import OptimizerSettings
+from repro.plans.nodes import JoinMethod, JoinNode, PlanNode, ScanNode
+from repro.sql.ast import Query
+from repro.storage.catalog import Database
+
+
+class DynamicProgrammingPlanner:
+    """Exhaustive DP search over join orders for one query."""
+
+    def __init__(
+        self,
+        db: Database,
+        query: Query,
+        estimator: CardinalityEstimator,
+        cost_model: CostModel,
+        settings: OptimizerSettings,
+    ) -> None:
+        self.db = db
+        self.query = query
+        self.estimator = estimator
+        self.cost_model = cost_model
+        self.settings = settings
+        self.aliases: List[str] = list(query.aliases)
+        self._alias_bit: Dict[str, int] = {alias: 1 << i for i, alias in enumerate(self.aliases)}
+        #: Number of (subset, split, method) join alternatives examined.
+        self.num_alternatives_considered = 0
+        #: Number of distinct logical join trees (join orders) examined.
+        self.num_join_trees_considered = 0
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _mask_aliases(self, mask: int) -> Tuple[str, ...]:
+        return tuple(alias for alias in self.aliases if self._alias_bit[alias] & mask)
+
+    def _edge_masks(self) -> List[Tuple[int, int]]:
+        """Bitmask pairs (one per join predicate) used for connectivity tests."""
+        edges = []
+        for predicate in self.query.join_predicates:
+            edges.append(
+                (self._alias_bit[predicate.left_alias], self._alias_bit[predicate.right_alias])
+            )
+        return edges
+
+    def _has_cross_edge(self, left_mask: int, right_mask: int) -> bool:
+        for left_bit, right_bit in self._edges:
+            if (left_bit & left_mask and right_bit & right_mask) or (
+                left_bit & right_mask and right_bit & left_mask
+            ):
+                return True
+        return False
+
+    def _build_join(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        method: JoinMethod,
+        output_rows: float,
+    ) -> Optional[JoinNode]:
+        """Build one join candidate, or None when the method is not applicable."""
+        predicates = tuple(
+            self.query.join_predicates_between(left.relations, right.relations)
+        )
+        inner_table_rows = 0.0
+        if method is JoinMethod.INDEX_NESTED_LOOP:
+            # Requires the inner side to be a single base relation with an
+            # index on (one of) the join columns.
+            if not isinstance(right, ScanNode) or not predicates:
+                return None
+            inner_alias = right.alias
+            inner_table = self.query.table_for_alias(inner_alias)
+            indexed_predicate = None
+            for predicate in predicates:
+                column = predicate.column_for(inner_alias)
+                if self.db.has_index(inner_table, column):
+                    indexed_predicate = predicate
+                    break
+            if indexed_predicate is None:
+                return None
+            inner_table_rows = float(self.db.table(inner_table).num_rows)
+        if method in (JoinMethod.HASH_JOIN, JoinMethod.MERGE_JOIN) and not predicates:
+            # Hash and merge joins need at least one equi-join predicate.
+            return None
+
+        resources = self.cost_model.join_resources(
+            method,
+            outer_rows=left.estimated_rows,
+            inner_rows=right.estimated_rows,
+            output_rows=output_rows,
+            inner_table_rows=inner_table_rows,
+        )
+        cost = left.estimated_cost + right.estimated_cost + self.cost_model.cost(resources)
+        return JoinNode(
+            relations=frozenset(left.relations | right.relations),
+            estimated_rows=output_rows,
+            estimated_cost=cost,
+            left=left,
+            right=right,
+            method=method,
+            predicates=predicates,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def plan_joins(self) -> PlanNode:
+        """Return the cheapest join plan over all relations of the query."""
+        if not self.aliases:
+            raise PlanningError(f"query {self.query.name!r} references no tables")
+        self._edges = self._edge_masks()
+
+        best: Dict[int, PlanNode] = {}
+        for alias in self.aliases:
+            best[self._alias_bit[alias]] = best_scan(
+                self.db, self.query, alias, self.estimator, self.cost_model, self.settings
+            )
+        if len(self.aliases) == 1:
+            return best[self._alias_bit[self.aliases[0]]]
+
+        full_mask = (1 << len(self.aliases)) - 1
+        masks_by_size: Dict[int, List[int]] = {}
+        for mask in range(1, full_mask + 1):
+            masks_by_size.setdefault(bin(mask).count("1"), []).append(mask)
+
+        for size in range(2, len(self.aliases) + 1):
+            for mask in masks_by_size.get(size, []):
+                candidates: List[PlanNode] = []
+                connected_candidates: List[PlanNode] = []
+                output_rows = self.estimator.joinset_cardinality(self._mask_aliases(mask))
+                # Enumerate every ordered split (outer, inner) of the subset.
+                submask = (mask - 1) & mask
+                while submask:
+                    left_mask = submask
+                    right_mask = mask ^ submask
+                    left_plan = best.get(left_mask)
+                    right_plan = best.get(right_mask)
+                    submask = (submask - 1) & mask
+                    if left_plan is None or right_plan is None:
+                        continue
+                    if not self.settings.allow_bushy and bin(right_mask).count("1") != 1:
+                        continue
+                    connected = self._has_cross_edge(left_mask, right_mask)
+                    self.num_join_trees_considered += 1
+                    for method in sorted(self.settings.enabled_join_methods, key=lambda m: m.value):
+                        self.num_alternatives_considered += 1
+                        join = self._build_join(left_plan, right_plan, method, output_rows)
+                        if join is None:
+                            continue
+                        candidates.append(join)
+                        if connected:
+                            connected_candidates.append(join)
+                # Prefer splits connected by join predicates; fall back to
+                # cartesian products only when the subset is not connected.
+                pool = connected_candidates or candidates
+                if pool:
+                    best[mask] = min(pool, key=lambda node: node.estimated_cost)
+
+        if full_mask not in best:
+            raise PlanningError(
+                f"could not build a plan for query {self.query.name!r}; "
+                "the join graph may be disconnected and cartesian products disabled"
+            )
+        return best[full_mask]

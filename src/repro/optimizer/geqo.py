@@ -1,0 +1,164 @@
+"""GEQO-style randomized join-order search.
+
+PostgreSQL abandons exhaustive dynamic programming when a query joins more
+than ``geqo_threshold`` relations (12 by default) and falls back to a genetic
+search over left-deep join orders (the paper's footnote 2).  This module
+implements a compact version of that idea:
+
+* a pool of random permutations of the relations is generated;
+* each permutation is greedily turned into a left-deep plan (choosing the
+  cheapest join method at every step);
+* the best permutations are iteratively improved by adjacent swaps
+  (a light-weight stand-in for GEQO's crossover/mutation).
+
+The search is deterministic for a fixed ``geqo_seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cardinality.estimator import CardinalityEstimator
+from repro.cost.model import CostModel
+from repro.errors import PlanningError
+from repro.optimizer.access_paths import best_scan
+from repro.optimizer.settings import OptimizerSettings
+from repro.plans.nodes import JoinMethod, JoinNode, PlanNode, ScanNode
+from repro.sql.ast import Query
+from repro.storage.catalog import Database
+
+
+class GeqoPlanner:
+    """Randomized left-deep planner for many-relation queries."""
+
+    def __init__(
+        self,
+        db: Database,
+        query: Query,
+        estimator: CardinalityEstimator,
+        cost_model: CostModel,
+        settings: OptimizerSettings,
+    ) -> None:
+        self.db = db
+        self.query = query
+        self.estimator = estimator
+        self.cost_model = cost_model
+        self.settings = settings
+        self.num_orders_considered = 0
+
+    # ------------------------------------------------------------------ #
+    # Plan construction for one permutation
+    # ------------------------------------------------------------------ #
+    def _scan_for(self, alias: str) -> ScanNode:
+        return best_scan(self.db, self.query, alias, self.estimator, self.cost_model, self.settings)
+
+    def _cheapest_join(self, left: PlanNode, right: ScanNode) -> Optional[JoinNode]:
+        output_rows = self.estimator.joinset_cardinality(left.relations | right.relations)
+        best: Optional[JoinNode] = None
+        predicates = self.query.join_predicates_between(left.relations, right.relations)
+        for method in sorted(self.settings.enabled_join_methods, key=lambda m: m.value):
+            inner_table_rows = 0.0
+            if method is JoinMethod.INDEX_NESTED_LOOP:
+                if not predicates:
+                    continue
+                inner_table = self.query.table_for_alias(right.alias)
+                has_usable_index = any(
+                    self.db.has_index(inner_table, p.column_for(right.alias)) for p in predicates
+                )
+                if not has_usable_index:
+                    continue
+                inner_table_rows = float(self.db.table(inner_table).num_rows)
+            if method in (JoinMethod.HASH_JOIN, JoinMethod.MERGE_JOIN) and not predicates:
+                continue
+            resources = self.cost_model.join_resources(
+                method,
+                outer_rows=left.estimated_rows,
+                inner_rows=right.estimated_rows,
+                output_rows=output_rows,
+                inner_table_rows=inner_table_rows,
+            )
+            cost = left.estimated_cost + right.estimated_cost + self.cost_model.cost(resources)
+            candidate = JoinNode(
+                relations=frozenset(left.relations | right.relations),
+                estimated_rows=output_rows,
+                estimated_cost=cost,
+                left=left,
+                right=right,
+                method=method,
+                predicates=tuple(predicates),
+            )
+            if best is None or candidate.estimated_cost < best.estimated_cost:
+                best = candidate
+        if best is None:
+            # No applicable specialised method: fall back to a nested loop
+            # (cartesian product with residual predicates).
+            resources = self.cost_model.nested_loop_resources(
+                left.estimated_rows, right.estimated_rows, output_rows
+            )
+            best = JoinNode(
+                relations=frozenset(left.relations | right.relations),
+                estimated_rows=output_rows,
+                estimated_cost=left.estimated_cost + right.estimated_cost + self.cost_model.cost(resources),
+                left=left,
+                right=right,
+                method=JoinMethod.NESTED_LOOP,
+                predicates=tuple(predicates),
+            )
+        return best
+
+    def _plan_for_order(self, order: Sequence[str]) -> PlanNode:
+        self.num_orders_considered += 1
+        plan: PlanNode = self._scan_for(order[0])
+        for alias in order[1:]:
+            join = self._cheapest_join(plan, self._scan_for(alias))
+            if join is None:
+                raise PlanningError(f"could not join relation {alias!r}")
+            plan = join
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def plan_joins(self) -> PlanNode:
+        """Return the best left-deep plan found by the randomized search."""
+        aliases = list(self.query.aliases)
+        if not aliases:
+            raise PlanningError(f"query {self.query.name!r} references no tables")
+        if len(aliases) == 1:
+            return self._scan_for(aliases[0])
+
+        rng = random.Random(self.settings.geqo_seed)
+        pool: List[Tuple[float, List[str]]] = []
+        # Always include the textual order as one candidate for determinism.
+        orders = [list(aliases)]
+        for _ in range(max(1, self.settings.geqo_pool_size - 1)):
+            order = list(aliases)
+            rng.shuffle(order)
+            orders.append(order)
+
+        best_plan: Optional[PlanNode] = None
+        best_order: Optional[List[str]] = None
+        for order in orders:
+            plan = self._plan_for_order(order)
+            if best_plan is None or plan.estimated_cost < best_plan.estimated_cost:
+                best_plan = plan
+                best_order = order
+
+        # Local improvement: adjacent swaps on the best order.
+        improved = True
+        while improved and best_order is not None:
+            improved = False
+            for position in range(len(best_order) - 1):
+                candidate_order = list(best_order)
+                candidate_order[position], candidate_order[position + 1] = (
+                    candidate_order[position + 1],
+                    candidate_order[position],
+                )
+                candidate = self._plan_for_order(candidate_order)
+                if candidate.estimated_cost < best_plan.estimated_cost:
+                    best_plan = candidate
+                    best_order = candidate_order
+                    improved = True
+        assert best_plan is not None
+        return best_plan

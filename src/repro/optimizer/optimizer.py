@@ -1,0 +1,101 @@
+"""The optimizer facade.
+
+``Optimizer.optimize(query, gamma)`` is the ``GetPlanFromOptimizer(Γ)`` call
+of Algorithm 1: it runs the cost-based search (DP below the GEQO threshold,
+randomized search above it) using a cardinality estimator that prefers the
+validated cardinalities in Γ over its histogram estimates, and wraps the join
+plan in an aggregation node when the query has one.
+
+The optimizer itself is completely unaware of re-optimization — exactly the
+"almost no changes to the original query optimizer" property the paper
+emphasises.  All the re-optimization logic lives in :mod:`repro.reopt`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cardinality.estimator import CardinalityEstimator
+from repro.cardinality.gamma import Gamma
+from repro.cost.model import CostModel
+from repro.optimizer.dp import DynamicProgrammingPlanner
+from repro.optimizer.geqo import GeqoPlanner
+from repro.optimizer.settings import OptimizerSettings
+from repro.plans.nodes import AggregateNode, PlanNode
+from repro.sql.ast import Query
+from repro.storage.catalog import Database
+
+__all__ = ["Optimizer", "OptimizerSettings", "OptimizationReport"]
+
+
+@dataclass
+class OptimizationReport:
+    """Bookkeeping of one optimizer invocation (used by analyses and benches)."""
+
+    plan: PlanNode
+    num_join_trees_considered: int
+    used_geqo: bool
+
+
+class Optimizer:
+    """Cost-based query optimizer with injectable validated cardinalities."""
+
+    def __init__(self, db: Database, settings: Optional[OptimizerSettings] = None) -> None:
+        self.db = db
+        self.settings = settings if settings is not None else OptimizerSettings()
+        self.cost_model = CostModel(units=self.settings.cost_units)
+        #: Report of the most recent ``optimize`` call.
+        self.last_report: Optional[OptimizationReport] = None
+
+    def make_estimator(self, query: Query, gamma: Optional[Gamma] = None) -> CardinalityEstimator:
+        """Build the cardinality estimator the search will consult."""
+        return CardinalityEstimator(
+            self.db,
+            query,
+            gamma=gamma,
+            use_mcv_join_refinement=self.settings.use_mcv_join_refinement,
+        )
+
+    def optimize(self, query: Query, gamma: Optional[Gamma] = None) -> PlanNode:
+        """Return the cheapest plan for ``query`` given the validated cardinalities Γ."""
+        query.validate()
+        estimator = self.make_estimator(query, gamma)
+        use_geqo = len(query.aliases) > self.settings.geqo_threshold
+        if use_geqo:
+            planner = GeqoPlanner(self.db, query, estimator, self.cost_model, self.settings)
+            plan = planner.plan_joins()
+            trees_considered = planner.num_orders_considered
+        else:
+            planner = DynamicProgrammingPlanner(
+                self.db, query, estimator, self.cost_model, self.settings
+            )
+            plan = planner.plan_joins()
+            trees_considered = planner.num_join_trees_considered
+
+        if query.aggregates or query.group_by:
+            input_rows = plan.estimated_rows
+            group_columns = len(query.group_by)
+            # Rough group-count estimate: the product of per-column distinct
+            # counts capped by the input cardinality (no grouping statistics on
+            # join outputs are kept, as in PostgreSQL before extended stats).
+            if group_columns == 0:
+                output_groups = 1.0
+            else:
+                output_groups = max(1.0, min(input_rows, input_rows ** 0.5))
+            resources = self.cost_model.aggregate_resources(input_rows, output_groups)
+            plan = AggregateNode(
+                relations=frozenset(plan.relations),
+                estimated_rows=output_groups,
+                estimated_cost=plan.estimated_cost + self.cost_model.cost(resources),
+                child=plan,
+                group_by=tuple(query.group_by),
+                aggregates=tuple(query.aggregates),
+            )
+
+        self.last_report = OptimizationReport(
+            plan=plan,
+            num_join_trees_considered=trees_considered,
+            used_geqo=use_geqo,
+        )
+        return plan

@@ -1,0 +1,240 @@
+"""Algorithm 1 — sampling-based query re-optimization.
+
+The loop is exactly the paper's:
+
+1. ``Γ ← ∅``;
+2. ask the (unmodified) optimizer for a plan given Γ;
+3. if the plan is the same as the previous round's plan, stop;
+4. otherwise run the plan's joins over the sample tables, producing the
+   validated cardinalities Δ, merge ``Γ ← Γ ∪ Δ`` and go to 2.
+
+The only policy knobs beyond the paper's algorithm are practical safeguards
+the paper itself discusses in Section 5.4: an optional bound on the number of
+rounds and an optional sampling-time budget, after which the best plan seen
+so far (by sampled-cost estimate) is returned.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cardinality.gamma import Gamma
+from repro.cardinality.sampling_estimator import SamplingEstimator
+from repro.errors import SamplingError
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.settings import OptimizerSettings
+from repro.plans.join_tree import classify_transformation, plans_identical
+from repro.plans.nodes import PlanNode
+from repro.reopt.report import ReoptimizationReport, RoundRecord
+from repro.sql.ast import Query
+from repro.storage.catalog import Database
+from repro.storage.sampling import DEFAULT_SAMPLING_RATIO
+
+
+@dataclass(frozen=True)
+class ReoptimizationSettings:
+    """Policy knobs around Algorithm 1."""
+
+    #: Hard bound on the number of optimizer invocations (rounds).  The paper
+    #: observes fewer than 10 rounds for every tested query; the default is a
+    #: generous safety net, not a tuning knob.
+    max_rounds: int = 20
+    #: Optional budget (seconds) for time spent validating plans over samples;
+    #: ``None`` disables the budget (Section 5.4 discusses such timeouts).
+    sampling_time_budget: Optional[float] = None
+    #: Sampling ratio used when the database has no samples yet.
+    sampling_ratio: float = DEFAULT_SAMPLING_RATIO
+    #: Seed used when samples have to be created on the fly.
+    sampling_seed: int = 42
+    #: Also validate base-relation (selection) cardinalities over the samples.
+    #: The paper validates join predicates only (Section 2); enabling this is
+    #: an ablation knob.
+    validate_base_relations: bool = False
+
+
+@dataclass
+class ReoptimizationResult:
+    """Outcome of re-optimizing one query."""
+
+    query: Query
+    final_plan: PlanNode
+    original_plan: PlanNode
+    report: ReoptimizationReport
+    gamma: Gamma
+    #: Total wall-clock seconds spent inside the re-optimization loop
+    #: (optimizer invocations + sampling validation).
+    reoptimization_seconds: float = 0.0
+    #: True when the loop stopped because the plan stopped changing (as
+    #: opposed to hitting the round/time budget).
+    converged: bool = True
+
+    @property
+    def rounds(self) -> int:
+        """Number of optimizer invocations performed."""
+        return self.report.num_plans_generated
+
+    @property
+    def plan_changed(self) -> bool:
+        """True if the final plan differs from the optimizer's original plan."""
+        return not plans_identical(self.final_plan, self.original_plan)
+
+
+class Reoptimizer:
+    """Drives Algorithm 1 for queries against one database."""
+
+    def __init__(
+        self,
+        db: Database,
+        optimizer: Optional[Optimizer] = None,
+        settings: Optional[ReoptimizationSettings] = None,
+        optimizer_settings: Optional[OptimizerSettings] = None,
+    ) -> None:
+        self.db = db
+        if optimizer is not None:
+            self.optimizer = optimizer
+        else:
+            self.optimizer = Optimizer(db, settings=optimizer_settings)
+        self.settings = settings if settings is not None else ReoptimizationSettings()
+
+    # ------------------------------------------------------------------ #
+    # The loop
+    # ------------------------------------------------------------------ #
+    def reoptimize(self, query: Query) -> ReoptimizationResult:
+        """Run Algorithm 1 on ``query`` and return the full result."""
+        if self.db.samples is None:
+            self.db.create_samples(
+                ratio=self.settings.sampling_ratio, seed=self.settings.sampling_seed
+            )
+        sampler = SamplingEstimator(self.db, query)
+
+        gamma = Gamma()
+        report = ReoptimizationReport(query_name=query.name)
+        started = time.perf_counter()
+        previous_plan: Optional[PlanNode] = None
+        converged = False
+        sampling_spent = 0.0
+
+        for round_number in range(1, self.settings.max_rounds + 1):
+            plan = self.optimizer.optimize(query, gamma)
+            transformation = (
+                classify_transformation(previous_plan, plan) if previous_plan is not None else None
+            )
+            record = RoundRecord(
+                round_number=round_number,
+                plan=plan,
+                estimated_cost=plan.estimated_cost,
+                estimated_rows=plan.estimated_rows,
+                transformation=transformation,
+            )
+            report.rounds.append(record)
+
+            if previous_plan is not None and plans_identical(plan, previous_plan):
+                converged = True
+                break
+
+            validation = sampler.validate_plan(
+                plan, validate_base_relations=self.settings.validate_base_relations
+            )
+            record.sampling_seconds = validation.elapsed_seconds
+            sampling_spent += validation.elapsed_seconds
+            record.new_gamma_entries = gamma.merge(validation.cardinalities)
+            previous_plan = plan
+
+            if (
+                self.settings.sampling_time_budget is not None
+                and sampling_spent >= self.settings.sampling_time_budget
+            ):
+                break
+
+        elapsed = time.perf_counter() - started
+        final_plan = self._select_final_plan(report, gamma, converged)
+        return ReoptimizationResult(
+            query=query,
+            final_plan=final_plan,
+            original_plan=report.original_plan(),
+            report=report,
+            gamma=gamma,
+            reoptimization_seconds=elapsed,
+            converged=converged,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fixed-point / fallback plan selection
+    # ------------------------------------------------------------------ #
+    def _select_final_plan(
+        self, report: ReoptimizationReport, gamma: Gamma, converged: bool
+    ) -> PlanNode:
+        """Pick the plan Algorithm 1 returns.
+
+        On convergence that is simply the last plan (the fixed point).  If the
+        loop was cut short by the round/time budget, Section 5.4's fallback is
+        used: re-cost every generated plan under the validated cardinalities
+        in Γ and return the cheapest.
+        """
+        if converged or len(report.rounds) == 1:
+            return report.final_plan()
+        best_plan = None
+        best_cost = float("inf")
+        for record in report.rounds:
+            cost = self._sampled_cost(record.plan, gamma)
+            if cost < best_cost:
+                best_cost = cost
+                best_plan = record.plan
+        return best_plan if best_plan is not None else report.final_plan()
+
+    def _sampled_cost(self, plan: PlanNode, gamma: Gamma) -> float:
+        """Re-cost ``plan`` using Γ where available (the paper's cost_s)."""
+        from repro.plans.nodes import AggregateNode, JoinNode, ScanNode
+
+        cost_model = self.optimizer.cost_model
+        total = 0.0
+
+        def rows_for(node: PlanNode) -> float:
+            validated = gamma.get(node.relations)
+            if validated is not None:
+                return validated
+            return node.estimated_rows
+
+        for node in plan.walk():
+            if isinstance(node, ScanNode):
+                table = self.db.table(node.table)
+                resources = cost_model.scan_resources(
+                    node.method,
+                    table_rows=float(table.num_rows),
+                    output_rows=rows_for(node),
+                    num_predicates=len(node.predicates),
+                    index_matched_rows=rows_for(node),
+                )
+            elif isinstance(node, JoinNode):
+                inner_table_rows = 0.0
+                if isinstance(node.right, ScanNode):
+                    inner_table_rows = float(self.db.table(node.right.table).num_rows)
+                resources = cost_model.join_resources(
+                    node.method,
+                    outer_rows=rows_for(node.left) if node.left is not None else 0.0,
+                    inner_rows=rows_for(node.right) if node.right is not None else 0.0,
+                    output_rows=rows_for(node),
+                    inner_table_rows=inner_table_rows,
+                )
+            elif isinstance(node, AggregateNode):
+                resources = cost_model.aggregate_resources(
+                    rows_for(node.child) if node.child is not None else 0.0,
+                    node.estimated_rows,
+                )
+            else:  # pragma: no cover - no other node types exist
+                continue
+            total += cost_model.cost(resources)
+        return total
+
+
+def reoptimize(
+    db: Database,
+    query: Query,
+    settings: Optional[ReoptimizationSettings] = None,
+    optimizer_settings: Optional[OptimizerSettings] = None,
+) -> ReoptimizationResult:
+    """Convenience wrapper: run Algorithm 1 with default components."""
+    reoptimizer = Reoptimizer(db, settings=settings, optimizer_settings=optimizer_settings)
+    return reoptimizer.reoptimize(query)

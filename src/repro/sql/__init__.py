@@ -1,0 +1,25 @@
+"""SQL front end: query AST, a small parser and a programmatic builder."""
+
+from __future__ import annotations
+
+from repro.sql.ast import (
+    Aggregate,
+    ColumnRef,
+    JoinPredicate,
+    LocalPredicate,
+    Query,
+    TableRef,
+)
+from repro.sql.builder import QueryBuilder
+from repro.sql.parser import parse_query
+
+__all__ = [
+    "Aggregate",
+    "ColumnRef",
+    "JoinPredicate",
+    "LocalPredicate",
+    "Query",
+    "QueryBuilder",
+    "TableRef",
+    "parse_query",
+]

@@ -1,0 +1,231 @@
+"""Query abstract syntax tree.
+
+The engine supports the class of queries the paper works with: conjunctive
+select-project-join queries over base tables, optionally followed by a
+grouped aggregation.  A :class:`Query` holds:
+
+* table references (with aliases, so self-joins work);
+* local predicates — comparisons between a column of one table and a
+  constant (the ``A_k = c_k`` selections of the OTT queries, the date-range
+  and category filters of TPC-H/TPC-DS);
+* join predicates — equality between columns of two different tables
+  (``B_1 = B_2``-style equi-joins);
+* an optional projection / aggregation block.
+
+The join graph (relations as nodes, join predicates as edges) is derived from
+the query and consumed by the optimizer's dynamic-programming search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.errors import ParseError
+
+#: Comparison operators supported by local predicates.
+COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+#: Aggregate functions supported by the aggregation block.
+AGGREGATE_FUNCS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A reference to a base table under an alias.
+
+    ``alias`` defaults to the table name; distinct aliases allow self-joins
+    (e.g. ``lineitem l1, lineitem l2`` in TPC-H Q21).
+    """
+
+    table: str
+    alias: str
+
+    @classmethod
+    def of(cls, table: str, alias: Optional[str] = None) -> "TableRef":
+        """Create a reference, defaulting the alias to the table name."""
+        return cls(table=table, alias=alias or table)
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A column of an aliased relation, e.g. ``l1.l_orderkey``."""
+
+    alias: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.alias}.{self.column}"
+
+
+@dataclass(frozen=True)
+class LocalPredicate:
+    """A comparison between a column and a constant: ``alias.column op value``."""
+
+    alias: str
+    column: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ParseError(f"unsupported comparison operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"{self.alias}.{self.column} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """An equi-join predicate ``left_alias.left_column = right_alias.right_column``."""
+
+    left_alias: str
+    left_column: str
+    right_alias: str
+    right_column: str
+
+    def aliases(self) -> FrozenSet[str]:
+        """The two relation aliases the predicate connects."""
+        return frozenset((self.left_alias, self.right_alias))
+
+    def normalized(self) -> "JoinPredicate":
+        """Return an equivalent predicate with sides in lexicographic order."""
+        if (self.left_alias, self.left_column) <= (self.right_alias, self.right_column):
+            return self
+        return JoinPredicate(
+            left_alias=self.right_alias,
+            left_column=self.right_column,
+            right_alias=self.left_alias,
+            right_column=self.left_column,
+        )
+
+    def column_for(self, alias: str) -> str:
+        """Return the join column on the side of ``alias``."""
+        if alias == self.left_alias:
+            return self.left_column
+        if alias == self.right_alias:
+            return self.right_column
+        raise ParseError(f"alias {alias!r} not part of join predicate {self}")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.left_alias}.{self.left_column} = "
+            f"{self.right_alias}.{self.right_column}"
+        )
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate output column, e.g. ``sum(l.l_extendedprice) AS revenue``."""
+
+    func: str
+    alias: Optional[str]
+    column: Optional[str]
+    output_name: str
+
+    def __post_init__(self) -> None:
+        if self.func not in AGGREGATE_FUNCS:
+            raise ParseError(f"unsupported aggregate function {self.func!r}")
+        if self.func != "count" and (self.alias is None or self.column is None):
+            raise ParseError(f"aggregate {self.func!r} requires a column argument")
+
+
+@dataclass
+class Query:
+    """A conjunctive select-project-join(-aggregate) query."""
+
+    tables: List[TableRef] = field(default_factory=list)
+    local_predicates: List[LocalPredicate] = field(default_factory=list)
+    join_predicates: List[JoinPredicate] = field(default_factory=list)
+    projections: List[ColumnRef] = field(default_factory=list)
+    aggregates: List[Aggregate] = field(default_factory=list)
+    group_by: List[ColumnRef] = field(default_factory=list)
+    name: str = "query"
+
+    # ------------------------------------------------------------------ #
+    # Validation and derived structure
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check internal consistency (aliases resolve, no duplicate aliases)."""
+        aliases = [ref.alias for ref in self.tables]
+        if len(aliases) != len(set(aliases)):
+            raise ParseError(f"duplicate table aliases in query {self.name!r}")
+        known = set(aliases)
+        for predicate in self.local_predicates:
+            if predicate.alias not in known:
+                raise ParseError(f"local predicate references unknown alias {predicate.alias!r}")
+        for predicate in self.join_predicates:
+            if predicate.left_alias not in known or predicate.right_alias not in known:
+                raise ParseError(f"join predicate references unknown alias: {predicate}")
+            if predicate.left_alias == predicate.right_alias:
+                raise ParseError(f"join predicate must reference two distinct aliases: {predicate}")
+        for ref in list(self.projections) + list(self.group_by):
+            if ref.alias not in known:
+                raise ParseError(f"output column references unknown alias {ref.alias!r}")
+        for aggregate in self.aggregates:
+            if aggregate.alias is not None and aggregate.alias not in known:
+                raise ParseError(f"aggregate references unknown alias {aggregate.alias!r}")
+
+    @property
+    def aliases(self) -> List[str]:
+        """All relation aliases, in FROM-clause order."""
+        return [ref.alias for ref in self.tables]
+
+    def table_for_alias(self, alias: str) -> str:
+        """Return the base-table name behind ``alias``."""
+        for ref in self.tables:
+            if ref.alias == alias:
+                return ref.table
+        raise ParseError(f"unknown alias {alias!r} in query {self.name!r}")
+
+    def local_predicates_for(self, alias: str) -> List[LocalPredicate]:
+        """All local predicates attached to one relation alias."""
+        return [p for p in self.local_predicates if p.alias == alias]
+
+    def join_predicates_between(
+        self, left: FrozenSet[str] | set, right: FrozenSet[str] | set
+    ) -> List[JoinPredicate]:
+        """Join predicates with one side in ``left`` and the other in ``right``."""
+        result = []
+        for predicate in self.join_predicates:
+            if predicate.left_alias in left and predicate.right_alias in right:
+                result.append(predicate)
+            elif predicate.left_alias in right and predicate.right_alias in left:
+                result.append(predicate)
+        return result
+
+    def join_graph(self) -> nx.Graph:
+        """Build the join graph: aliases as nodes, join predicates as edges.
+
+        Multiple predicates between the same pair of relations are collected
+        on one edge under the ``predicates`` attribute.
+        """
+        graph = nx.Graph()
+        graph.add_nodes_from(self.aliases)
+        for predicate in self.join_predicates:
+            left, right = predicate.left_alias, predicate.right_alias
+            if graph.has_edge(left, right):
+                graph[left][right]["predicates"].append(predicate)
+            else:
+                graph.add_edge(left, right, predicates=[predicate])
+        return graph
+
+    def is_join_graph_connected(self) -> bool:
+        """True if every relation is reachable through join predicates."""
+        graph = self.join_graph()
+        if graph.number_of_nodes() <= 1:
+            return True
+        return nx.is_connected(graph)
+
+    @property
+    def num_joins(self) -> int:
+        """Number of join predicates (edges counted with multiplicity)."""
+        return len(self.join_predicates)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Query({self.name!r}, tables={len(self.tables)}, "
+            f"joins={len(self.join_predicates)}, filters={len(self.local_predicates)})"
+        )

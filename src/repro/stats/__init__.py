@@ -1,0 +1,16 @@
+"""Optimizer statistics: ANALYZE, MCV lists, equi-depth and 2-D histograms."""
+
+from __future__ import annotations
+
+from repro.stats.analyze import analyze
+from repro.stats.histogram import EquiDepthHistogram
+from repro.stats.statistics import ColumnStatistics, TableStatistics
+from repro.stats.multidim import MultiDimHistogram
+
+__all__ = [
+    "ColumnStatistics",
+    "EquiDepthHistogram",
+    "MultiDimHistogram",
+    "TableStatistics",
+    "analyze",
+]

@@ -1,0 +1,19 @@
+"""In-memory columnar storage engine: tables, catalog, indexes and samples."""
+
+from __future__ import annotations
+
+from repro.storage.catalog import Database
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.sampling import SampleSet, sample_table
+from repro.storage.table import Column, Table, TableSchema
+
+__all__ = [
+    "Column",
+    "Database",
+    "HashIndex",
+    "SampleSet",
+    "SortedIndex",
+    "Table",
+    "TableSchema",
+    "sample_table",
+]

@@ -1,0 +1,172 @@
+"""The database catalog: tables, indexes, statistics and sample tables.
+
+:class:`Database` is the central handle that the optimizer, executor and the
+re-optimization loop share.  It owns:
+
+* the base tables (:class:`repro.storage.table.Table`);
+* secondary indexes (hash + sorted), registered per (table, column);
+* per-table statistics produced by ANALYZE (:mod:`repro.stats.analyze`);
+* a :class:`repro.storage.sampling.SampleSet` used by the sampling-based
+  cardinality estimator.
+
+The statistics and samples are populated lazily — ``analyze()`` and
+``create_samples()`` must be called before optimization / re-optimization,
+exactly as a DBA must run ``ANALYZE`` before expecting decent plans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import CatalogError, StatisticsError
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.sampling import DEFAULT_SAMPLING_RATIO, SampleSet
+from repro.storage.table import Column, Table, TableSchema
+
+
+class Database:
+    """A named collection of tables with indexes, statistics and samples."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+        self._hash_indexes: Dict[Tuple[str, str], HashIndex] = {}
+        self._sorted_indexes: Dict[Tuple[str, str], SortedIndex] = {}
+        #: Table name -> TableStatistics, populated by repro.stats.analyze.
+        self.statistics: Dict[str, "object"] = {}
+        #: Sample tables used by the sampling estimator.
+        self.samples: Optional[SampleSet] = None
+
+    # ------------------------------------------------------------------ #
+    # Tables
+    # ------------------------------------------------------------------ #
+    def create_table(self, table: Table, replace: bool = False) -> Table:
+        """Register ``table`` in the catalog and return it."""
+        if table.name in self._tables and not replace:
+            raise CatalogError(f"table {table.name!r} already exists in database {self.name!r}")
+        self._tables[table.name] = table
+        if replace:
+            # Invalidate anything derived from the replaced table.
+            self.statistics.pop(table.name, None)
+            for key in [k for k in self._hash_indexes if k[0] == table.name]:
+                del self._hash_indexes[key]
+            for key in [k for k in self._sorted_indexes if k[0] == table.name]:
+                del self._sorted_indexes[key]
+            if self.samples is not None and table.name in self.samples.samples:
+                self.samples = None
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table together with its indexes, statistics and samples."""
+        if name not in self._tables:
+            raise CatalogError(f"cannot drop unknown table {name!r}")
+        del self._tables[name]
+        self.statistics.pop(name, None)
+        for key in [k for k in self._hash_indexes if k[0] == name]:
+            del self._hash_indexes[key]
+        for key in [k for k in self._sorted_indexes if k[0] == name]:
+            del self._sorted_indexes[key]
+        if self.samples is not None and name in self.samples.samples:
+            del self.samples.samples[name]
+            self.samples.base_row_counts.pop(name, None)
+
+    def table(self, name: str) -> Table:
+        """Return the table called ``name``."""
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r} in database {self.name!r}")
+        return self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        """Return True if a table called ``name`` exists."""
+        return name in self._tables
+
+    def table_names(self) -> List[str]:
+        """Names of all tables, sorted."""
+        return sorted(self._tables)
+
+    def tables(self) -> Mapping[str, Table]:
+        """Read-only view of the table mapping."""
+        return dict(self._tables)
+
+    # ------------------------------------------------------------------ #
+    # Indexes
+    # ------------------------------------------------------------------ #
+    def create_index(self, table_name: str, column: str) -> None:
+        """Create (or refresh) a hash index and a sorted index on a column."""
+        table = self.table(table_name)
+        self._hash_indexes[(table_name, column)] = HashIndex(table, column)
+        self._sorted_indexes[(table_name, column)] = SortedIndex(table, column)
+
+    def has_index(self, table_name: str, column: str) -> bool:
+        """Return True if an index exists on (table, column)."""
+        return (table_name, column) in self._hash_indexes
+
+    def hash_index(self, table_name: str, column: str) -> HashIndex:
+        """Return the hash index on (table, column)."""
+        key = (table_name, column)
+        if key not in self._hash_indexes:
+            raise CatalogError(f"no index on {table_name}.{column}")
+        return self._hash_indexes[key]
+
+    def sorted_index(self, table_name: str, column: str) -> SortedIndex:
+        """Return the sorted index on (table, column)."""
+        key = (table_name, column)
+        if key not in self._sorted_indexes:
+            raise CatalogError(f"no index on {table_name}.{column}")
+        return self._sorted_indexes[key]
+
+    def indexed_columns(self, table_name: str) -> List[str]:
+        """Return the list of indexed columns for one table."""
+        return sorted(column for table, column in self._hash_indexes if table == table_name)
+
+    # ------------------------------------------------------------------ #
+    # Statistics and samples
+    # ------------------------------------------------------------------ #
+    def analyze(self, table_names: Optional[Iterable[str]] = None, **kwargs) -> None:
+        """Collect optimizer statistics (delegates to :func:`repro.stats.analyze.analyze`)."""
+        from repro.stats.analyze import analyze as run_analyze
+
+        run_analyze(self, table_names=table_names, **kwargs)
+
+    def table_statistics(self, table_name: str):
+        """Return the ANALYZE statistics for ``table_name``.
+
+        Raises
+        ------
+        StatisticsError
+            If ANALYZE has not been run for the table.
+        """
+        if table_name not in self.statistics:
+            raise StatisticsError(
+                f"no statistics for table {table_name!r}; call Database.analyze() first"
+            )
+        return self.statistics[table_name]
+
+    def create_samples(
+        self,
+        ratio: float = DEFAULT_SAMPLING_RATIO,
+        seed: Optional[int] = None,
+        method: str = "bernoulli",
+    ) -> SampleSet:
+        """Create sample tables for every base table and remember them."""
+        self.samples = SampleSet.build(self._tables, ratio=ratio, seed=seed, method=method)
+        return self.samples
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+    def create_table_from_columns(
+        self,
+        name: str,
+        column_declarations: Iterable[Column],
+        columns: Mapping[str, Iterable],
+        tuples_per_page: int = 100,
+        replace: bool = False,
+    ) -> Table:
+        """Build a :class:`Table` from raw columns and register it."""
+        schema = TableSchema(name, tuple(column_declarations))
+        table = Table(schema, columns, tuples_per_page=tuples_per_page)
+        return self.create_table(table, replace=replace)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database({self.name!r}, tables={self.table_names()})"

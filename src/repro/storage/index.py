@@ -1,0 +1,101 @@
+"""Secondary indexes over table columns.
+
+Two index flavours are provided:
+
+* :class:`HashIndex` — equality lookups, used by index scans with equality
+  predicates and by index nested-loop joins;
+* :class:`SortedIndex` — range lookups backed by a sorted copy of the column.
+
+Indexes store *row positions* into the base table, so a lookup composes with
+:meth:`repro.storage.table.Table.take`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CatalogError
+from repro.storage.table import Table
+
+
+class HashIndex:
+    """Equality index mapping each distinct value to the rows holding it."""
+
+    def __init__(self, table: Table, column: str) -> None:
+        if not table.has_column(column):
+            raise CatalogError(f"cannot index missing column {column!r} of table {table.name!r}")
+        self.table_name = table.name
+        self.column = column
+        values = table.column(column)
+        order = np.argsort(values, kind="stable")
+        sorted_values = values[order]
+        # Group equal values into contiguous runs of the stable sort order.
+        boundaries = np.nonzero(sorted_values[1:] != sorted_values[:-1])[0] + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(sorted_values)]))
+        self._buckets: Dict[object, np.ndarray] = {}
+        for start, end in zip(starts, ends):
+            if start == end:
+                continue
+            self._buckets[sorted_values[start]] = order[start:end]
+
+    @property
+    def num_keys(self) -> int:
+        """Number of distinct keys in the index."""
+        return len(self._buckets)
+
+    def lookup(self, value: object) -> np.ndarray:
+        """Return the row positions whose indexed column equals ``value``."""
+        rows = self._buckets.get(value)
+        if rows is None:
+            return np.empty(0, dtype=np.int64)
+        return rows
+
+
+class SortedIndex:
+    """Order-preserving index supporting range lookups via binary search."""
+
+    def __init__(self, table: Table, column: str) -> None:
+        if not table.has_column(column):
+            raise CatalogError(f"cannot index missing column {column!r} of table {table.name!r}")
+        self.table_name = table.name
+        self.column = column
+        values = table.column(column)
+        self._order = np.argsort(values, kind="stable")
+        self._sorted = values[self._order]
+
+    def lookup(self, value: object) -> np.ndarray:
+        """Return the row positions whose indexed column equals ``value``."""
+        lo = np.searchsorted(self._sorted, value, side="left")
+        hi = np.searchsorted(self._sorted, value, side="right")
+        return self._order[lo:hi]
+
+    def range_lookup(
+        self,
+        low: Optional[object] = None,
+        high: Optional[object] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> np.ndarray:
+        """Return the row positions whose indexed value lies in ``[low, high]``.
+
+        Either bound may be ``None`` for an open-ended range; inclusivity of
+        each bound is controlled independently.
+        """
+        lo = 0
+        hi = len(self._sorted)
+        if low is not None:
+            side = "left" if include_low else "right"
+            lo = int(np.searchsorted(self._sorted, low, side=side))
+        if high is not None:
+            side = "right" if include_high else "left"
+            hi = int(np.searchsorted(self._sorted, high, side=side))
+        if hi < lo:
+            hi = lo
+        return self._order[lo:hi]
+
+
+#: Index registry key: (table name, column name).
+IndexKey = Tuple[str, str]

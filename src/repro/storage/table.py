@@ -1,0 +1,250 @@
+"""Columnar in-memory tables.
+
+A :class:`Table` stores each column as a NumPy array.  Tables are immutable
+once created (the engine never updates rows in place), which keeps the
+statistics collected by ANALYZE valid for the lifetime of the table and makes
+sample tables cheap, reproducible snapshots.
+
+The storage model intentionally mirrors what the paper's cost model needs:
+a table exposes a row count and a page count (``ceil(rows / tuples_per_page)``)
+so that the PostgreSQL-style cost formulas in :mod:`repro.cost` can charge
+sequential and random page accesses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+#: Logical column types supported by the engine.
+SUPPORTED_TYPES = ("int", "float", "str")
+
+#: Default number of tuples that fit on one "page" for costing purposes.
+DEFAULT_TUPLES_PER_PAGE = 100
+
+
+@dataclass(frozen=True)
+class Column:
+    """Declaration of a single column.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within its table.
+    type:
+        Logical type: ``"int"``, ``"float"`` or ``"str"``.
+    """
+
+    name: str
+    type: str = "int"
+
+    def __post_init__(self) -> None:
+        if self.type not in SUPPORTED_TYPES:
+            raise SchemaError(
+                f"unsupported column type {self.type!r} for column {self.name!r}; "
+                f"expected one of {SUPPORTED_TYPES}"
+            )
+
+    def numpy_dtype(self) -> np.dtype:
+        """Return the NumPy dtype used to store this column."""
+        if self.type == "int":
+            return np.dtype(np.int64)
+        if self.type == "float":
+            return np.dtype(np.float64)
+        return np.dtype(object)
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Ordered collection of :class:`Column` declarations for one table."""
+
+    name: str
+    columns: Sequence[Column]
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate column names in schema for table {self.name!r}")
+        if not names:
+            raise SchemaError(f"table {self.name!r} must declare at least one column")
+
+    @property
+    def column_names(self) -> List[str]:
+        """Names of all columns, in declaration order."""
+        return [column.name for column in self.columns]
+
+    def column(self, name: str) -> Column:
+        """Return the declaration of column ``name``.
+
+        Raises
+        ------
+        SchemaError
+            If the column does not exist.
+        """
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        """Return True if the schema declares a column called ``name``."""
+        return any(column.name == name for column in self.columns)
+
+
+class Table:
+    """An immutable, columnar, in-memory table.
+
+    Parameters
+    ----------
+    schema:
+        The table schema.
+    columns:
+        Mapping from column name to a one-dimensional array-like of values.
+        All columns must have the same length.
+    tuples_per_page:
+        How many tuples fit on one logical page; used by the cost model to
+        translate row counts into page counts.
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        columns: Mapping[str, Iterable],
+        tuples_per_page: int = DEFAULT_TUPLES_PER_PAGE,
+    ) -> None:
+        self.schema = schema
+        self.tuples_per_page = int(tuples_per_page)
+        if self.tuples_per_page <= 0:
+            raise SchemaError("tuples_per_page must be positive")
+
+        self._data: Dict[str, np.ndarray] = {}
+        expected = set(schema.column_names)
+        provided = set(columns)
+        if expected != provided:
+            missing = sorted(expected - provided)
+            extra = sorted(provided - expected)
+            raise SchemaError(
+                f"column mismatch for table {schema.name!r}: missing={missing}, extra={extra}"
+            )
+
+        length: Optional[int] = None
+        for declaration in schema.columns:
+            array = np.asarray(columns[declaration.name])
+            if array.ndim != 1:
+                raise SchemaError(
+                    f"column {declaration.name!r} of table {schema.name!r} must be 1-dimensional"
+                )
+            if declaration.type == "int":
+                array = array.astype(np.int64, copy=False)
+            elif declaration.type == "float":
+                array = array.astype(np.float64, copy=False)
+            else:
+                array = array.astype(object, copy=False)
+            if length is None:
+                length = len(array)
+            elif len(array) != length:
+                raise SchemaError(
+                    f"column {declaration.name!r} of table {schema.name!r} has length "
+                    f"{len(array)}, expected {length}"
+                )
+            self._data[declaration.name] = array
+        self._num_rows = int(length or 0)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """The table name (from the schema)."""
+        return self.schema.name
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows stored in the table."""
+        return self._num_rows
+
+    @property
+    def num_pages(self) -> int:
+        """Number of logical pages the table occupies (at least 1)."""
+        return max(1, math.ceil(self._num_rows / self.tuples_per_page))
+
+    @property
+    def column_names(self) -> List[str]:
+        """Names of all columns, in declaration order."""
+        return self.schema.column_names
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the array backing column ``name``."""
+        if name not in self._data:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}")
+        return self._data[name]
+
+    def has_column(self, name: str) -> bool:
+        """Return True if the table has a column called ``name``."""
+        return name in self._data
+
+    # ------------------------------------------------------------------ #
+    # Derivation helpers
+    # ------------------------------------------------------------------ #
+    def take(self, row_indices: np.ndarray, name: Optional[str] = None) -> "Table":
+        """Return a new table containing only the rows at ``row_indices``.
+
+        The rows keep their relative order.  ``name`` optionally renames the
+        derived table (used for sample tables).
+        """
+        row_indices = np.asarray(row_indices)
+        new_schema = TableSchema(name or self.schema.name, self.schema.columns)
+        new_columns = {col: self._data[col][row_indices] for col in self._data}
+        return Table(new_schema, new_columns, tuples_per_page=self.tuples_per_page)
+
+    def filter(self, mask: np.ndarray, name: Optional[str] = None) -> "Table":
+        """Return a new table containing only the rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != self._num_rows:
+            raise SchemaError(
+                f"boolean mask of length {len(mask)} does not match table "
+                f"{self.name!r} with {self._num_rows} rows"
+            )
+        return self.take(np.nonzero(mask)[0], name=name)
+
+    def head(self, n: int = 5) -> List[dict]:
+        """Return the first ``n`` rows as a list of dicts (for debugging)."""
+        n = min(n, self._num_rows)
+        return [
+            {col: self._data[col][i] for col in self.column_names}
+            for i in range(n)
+        ]
+
+    def to_columns(self) -> Dict[str, np.ndarray]:
+        """Return a shallow copy of the column mapping."""
+        return dict(self._data)
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, rows={self._num_rows}, columns={self.column_names})"
+
+
+def table_from_rows(
+    schema: TableSchema,
+    rows: Sequence[Mapping[str, object]],
+    tuples_per_page: int = DEFAULT_TUPLES_PER_PAGE,
+) -> Table:
+    """Build a :class:`Table` from an iterable of row dictionaries.
+
+    Convenience constructor used mostly in tests and examples; the workload
+    generators build columns directly for speed.
+    """
+    columns: Dict[str, list] = {name: [] for name in schema.column_names}
+    for row in rows:
+        for name in schema.column_names:
+            if name not in row:
+                raise SchemaError(f"row is missing column {name!r} for table {schema.name!r}")
+            columns[name].append(row[name])
+    return Table(schema, columns, tuples_per_page=tuples_per_page)

@@ -1,0 +1,36 @@
+"""Special-case convergence bounds of Appendix B.
+
+For left-deep join trees the paper derives tighter bounds than the general
+``O(sqrt(N))`` result when all local estimation errors go one way:
+
+* **overestimation only** (Theorem 7) — the loop terminates within ``m + 1``
+  steps, where ``m`` is the number of joins in the query, because each round
+  validates at least one more join of the final plan;
+* **underestimation only** — partitioning the left-deep trees by their first
+  join (an edge of the join graph with ``M`` edges) gives an expected
+  ``S_{N/M}`` steps, which is much smaller than ``S_N``.
+
+These functions compute the bounds so that the experiments (and the property
+tests) can compare observed round counts against them.
+"""
+
+from __future__ import annotations
+
+from repro.theory.ball_queue import expected_steps
+
+
+def overestimation_only_bound(num_joins: int) -> int:
+    """Worst-case number of rounds when all errors are overestimates (Theorem 7)."""
+    if num_joins < 0:
+        raise ValueError("number of joins cannot be negative")
+    return num_joins + 1
+
+
+def underestimation_only_expected_steps(num_join_trees: int, num_join_graph_edges: int) -> float:
+    """Expected rounds when all errors are underestimates: ``S_{N/M}`` (Appendix B.2)."""
+    if num_join_trees < 1:
+        raise ValueError("the search space must contain at least one join tree")
+    if num_join_graph_edges < 1:
+        raise ValueError("the join graph must contain at least one edge")
+    per_partition = max(1, num_join_trees // num_join_graph_edges)
+    return expected_steps(per_partition)

@@ -1,0 +1,15 @@
+"""Workloads used in the paper's evaluation: TPC-H-like, TPC-DS-like and OTT."""
+
+from __future__ import annotations
+
+from repro.workloads.ott import (
+    generate_ott_database,
+    make_ott_query,
+    make_ott_workload,
+)
+
+__all__ = [
+    "generate_ott_database",
+    "make_ott_query",
+    "make_ott_workload",
+]

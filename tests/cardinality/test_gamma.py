@@ -1,0 +1,59 @@
+"""Unit tests for the Γ store of validated cardinalities."""
+
+import pytest
+
+from repro.cardinality.gamma import Gamma
+
+
+class TestGamma:
+    def test_record_and_get(self):
+        gamma = Gamma()
+        gamma.record({"a", "b"}, 123.0)
+        assert gamma.get({"b", "a"}) == 123.0
+        assert gamma.get({"a"}) is None
+        assert {"a", "b"} in gamma
+        assert len(gamma) == 1
+
+    def test_empty_join_set_rejected(self):
+        with pytest.raises(ValueError):
+            Gamma().record([], 1.0)
+
+    def test_merge_counts_new_entries_only(self):
+        gamma = Gamma()
+        gamma.record({"a"}, 10.0)
+        added = gamma.merge({frozenset({"a"}): 12.0, frozenset({"a", "b"}): 5.0})
+        assert added == 1
+        # The newer value overwrites the older one.
+        assert gamma.get({"a"}) == 12.0
+        assert gamma.get({"a", "b"}) == 5.0
+
+    def test_merge_gamma_instance(self):
+        first = Gamma()
+        first.record({"a"}, 1.0)
+        second = Gamma()
+        second.record({"b"}, 2.0)
+        assert first.merge(second) == 1
+        assert first.get({"b"}) == 2.0
+
+    def test_merge_zero_new_entries_signals_coverage(self):
+        gamma = Gamma()
+        gamma.record({"a", "b"}, 4.0)
+        assert gamma.merge({frozenset({"a", "b"}): 4.0}) == 0
+
+    def test_copy_is_independent(self):
+        gamma = Gamma()
+        gamma.record({"a"}, 1.0)
+        clone = gamma.copy()
+        clone.record({"b"}, 2.0)
+        assert {"b"} not in gamma
+        assert {"b"} in clone
+
+    def test_iteration_and_covered_sets(self):
+        gamma = Gamma()
+        gamma.record({"a"}, 1.0)
+        gamma.record({"a", "b"}, 2.0)
+        assert set(gamma) == {frozenset({"a"}), frozenset({"a", "b"})}
+        assert gamma.covered_join_sets() == frozenset(
+            {frozenset({"a"}), frozenset({"a", "b"})}
+        )
+        assert dict(gamma.items())[frozenset({"a"})] == 1.0

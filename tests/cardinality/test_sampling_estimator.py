@@ -1,0 +1,91 @@
+"""Tests for the Haas et al. sampling-based estimator."""
+
+import pytest
+
+from repro.cardinality.sampling_estimator import SamplingEstimator
+from repro.errors import SamplingError
+from repro.executor.executor import Executor
+from repro.optimizer.optimizer import Optimizer
+from repro.workloads.ott import generate_ott_database, make_ott_query
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_ott_database(
+        num_tables=4, rows_per_table=3000, rows_per_value=50, seed=9, sampling_ratio=0.2
+    )
+
+
+class TestSamplingEstimates:
+    def test_requires_samples(self, db):
+        query = make_ott_query(db, [0, 0, 0, 0])
+        bare = generate_ott_database(
+            num_tables=2, rows_per_table=100, seed=1, create_samples=False
+        )
+        with pytest.raises(SamplingError):
+            SamplingEstimator(bare, make_ott_query(bare, [0, 0]))
+        # With samples present, construction succeeds.
+        SamplingEstimator(db, query)
+
+    def test_detects_empty_join(self, db):
+        query = make_ott_query(db, [0, 1, 0, 0])
+        estimator = SamplingEstimator(db, query)
+        assert estimator.estimate_cardinality({"r1", "r2"}) == 0.0
+
+    def test_nonempty_join_estimate_close_to_truth(self, db):
+        query = make_ott_query(db, [0, 0, 0, 0])
+        estimator = SamplingEstimator(db, query)
+        # B = A in the OTT data, so the true pair-join cardinality is the
+        # product of the two selection counts.
+        r1_selected = int((db.table("r1").column("a") == 0).sum())
+        r2_selected = int((db.table("r2").column("a") == 0).sum())
+        pair_actual = r1_selected * r2_selected
+        pair_estimate = estimator.estimate_cardinality({"r1", "r2"})
+        assert pair_estimate == pytest.approx(pair_actual, rel=0.6)
+
+    def test_selectivity_matches_cardinality_scaling(self, db):
+        query = make_ott_query(db, [0, 0, 0, 0])
+        estimator = SamplingEstimator(db, query)
+        rho = estimator.estimate_selectivity({"r1", "r2"})
+        cardinality = estimator.estimate_cardinality({"r1", "r2"})
+        assert cardinality == pytest.approx(rho * 3000 * 3000, rel=1e-6)
+
+    def test_estimates_cached(self, db):
+        query = make_ott_query(db, [0, 0, 0, 0])
+        estimator = SamplingEstimator(db, query)
+        first = estimator.estimate_cardinality({"r1", "r2", "r3"})
+        second = estimator.estimate_cardinality({"r1", "r2", "r3"})
+        assert first == second
+
+    def test_empty_joinset_rejected(self, db):
+        estimator = SamplingEstimator(db, make_ott_query(db, [0, 0, 0, 0]))
+        with pytest.raises(ValueError):
+            estimator.estimate_cardinality(set())
+
+
+class TestValidatePlan:
+    def test_validates_joins_only_by_default(self, db):
+        query = make_ott_query(db, [0, 0, 0, 1])
+        plan = Optimizer(db).optimize(query)
+        validation = SamplingEstimator(db, query).validate_plan(plan)
+        assert validation.joins_validated >= 1
+        assert all(len(join_set) >= 2 for join_set in validation.cardinalities)
+        assert validation.elapsed_seconds >= 0.0
+
+    def test_validates_base_relations_when_asked(self, db):
+        query = make_ott_query(db, [0, 0, 0, 1])
+        plan = Optimizer(db).optimize(query)
+        validation = SamplingEstimator(db, query).validate_plan(
+            plan, validate_base_relations=True
+        )
+        singletons = [s for s in validation.cardinalities if len(s) == 1]
+        assert len(singletons) == 4
+
+    def test_full_query_join_set_is_validated(self, db):
+        query = make_ott_query(db, [0, 0, 0, 1])
+        plan = Optimizer(db).optimize(query)
+        validation = SamplingEstimator(db, query).validate_plan(plan)
+        full_set = frozenset({"r1", "r2", "r3", "r4"})
+        assert full_set in validation.cardinalities
+        # The query is empty (constants differ), and sampling sees that.
+        assert validation.cardinalities[full_set] == 0.0

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage.catalog import Database
+from repro.storage.table import Column, Table, TableSchema
+from repro.workloads.ott import generate_ott_database, make_ott_query
+
+
+@pytest.fixture
+def small_db() -> Database:
+    """A tiny two-table database (orders/items style) used across unit tests."""
+    db = Database("unit")
+    rng = np.random.default_rng(0)
+    n_orders = 200
+    n_items = 1000
+    db.create_table(Table(
+        TableSchema("orders", (
+            Column("o_id", "int"), Column("o_customer", "int"), Column("o_priority", "str"),
+            Column("o_total", "float"),
+        )),
+        {
+            "o_id": np.arange(n_orders),
+            "o_customer": rng.integers(0, 50, size=n_orders),
+            "o_priority": rng.choice(["HIGH", "LOW", "MEDIUM"], size=n_orders).astype(object),
+            "o_total": rng.uniform(10.0, 1000.0, size=n_orders),
+        },
+    ))
+    db.create_table(Table(
+        TableSchema("items", (
+            Column("i_order", "int"), Column("i_part", "int"), Column("i_quantity", "int"),
+            Column("i_price", "float"),
+        )),
+        {
+            "i_order": rng.integers(0, n_orders, size=n_items),
+            "i_part": rng.integers(0, 100, size=n_items),
+            "i_quantity": rng.integers(1, 10, size=n_items),
+            "i_price": rng.uniform(1.0, 100.0, size=n_items),
+        },
+    ))
+    db.create_index("orders", "o_id")
+    db.create_index("items", "i_order")
+    db.analyze()
+    db.create_samples(ratio=0.3, seed=7)
+    return db
+
+
+@pytest.fixture(scope="session")
+def ott_db() -> Database:
+    """A small OTT database shared by the re-optimization tests."""
+    return generate_ott_database(
+        num_tables=4, rows_per_table=1500, rows_per_value=30, seed=5, sampling_ratio=0.1
+    )
+
+
+@pytest.fixture(scope="session")
+def ott_query(ott_db):
+    """An OTT query that is empty (constants differ) over the shared database."""
+    return make_ott_query(ott_db, [0, 0, 0, 1], name="ott_empty")

@@ -1,0 +1,186 @@
+"""Tests for the DP/GEQO optimizer and access-path selection."""
+
+import pytest
+
+from repro.cardinality.gamma import Gamma
+from repro.errors import PlanningError
+from repro.executor.executor import Executor
+from repro.executor.kernels import relation_num_rows
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.profiles import OPTIMIZER_PROFILES, profile_settings
+from repro.optimizer.settings import OptimizerSettings
+from repro.plans.join_tree import JoinTree
+from repro.plans.nodes import AggregateNode, JoinNode, ScanMethod, ScanNode
+from repro.sql.builder import QueryBuilder
+from repro.workloads.ott import generate_ott_database, make_ott_query
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_ott_database(
+        num_tables=5, rows_per_table=2000, rows_per_value=50, seed=4, sampling_ratio=0.2
+    )
+
+
+class TestPlanShape:
+    def test_single_table_query_is_a_scan(self, db):
+        query = QueryBuilder("q").table("r1").filter("r1", "a", "=", 1).build()
+        plan = Optimizer(db).optimize(query)
+        assert isinstance(plan, ScanNode)
+
+    def test_join_plan_covers_all_relations(self, db):
+        query = make_ott_query(db, [0, 0, 0, 0, 0])
+        plan = Optimizer(db).optimize(query)
+        assert isinstance(plan, AggregateNode)
+        assert plan.relations == frozenset({"r1", "r2", "r3", "r4", "r5"})
+        assert len(plan.child.join_nodes()) == 4
+        assert len(plan.child.scan_nodes()) == 5
+
+    def test_plan_contains_only_query_join_predicates(self, db):
+        query = make_ott_query(db, [0, 0, 0, 0, 0])
+        plan = Optimizer(db).optimize(query)
+        allowed = {p.normalized() for p in query.join_predicates}
+        for node in plan.join_nodes():
+            for predicate in node.predicates:
+                assert predicate.normalized() in allowed
+
+    def test_estimated_cost_is_cumulative(self, db):
+        query = make_ott_query(db, [0, 0, 0, 0, 0])
+        plan = Optimizer(db).optimize(query)
+        for node in plan.join_nodes():
+            for child in node.children():
+                assert node.estimated_cost >= child.estimated_cost
+
+    def test_left_deep_only_setting(self, db):
+        query = make_ott_query(db, [0, 0, 0, 0, 0])
+        settings = OptimizerSettings(allow_bushy=False)
+        plan = Optimizer(db, settings).optimize(query)
+        tree = JoinTree.of(plan)
+        assert tree.is_left_deep()
+
+    def test_optimizer_report_populated(self, db):
+        query = make_ott_query(db, [0, 0, 0, 0, 0])
+        optimizer = Optimizer(db)
+        optimizer.optimize(query)
+        assert optimizer.last_report is not None
+        assert optimizer.last_report.num_join_trees_considered > 0
+        assert not optimizer.last_report.used_geqo
+
+    def test_no_tables_rejected(self, db):
+        query = QueryBuilder("empty").build()
+        with pytest.raises(PlanningError):
+            Optimizer(db).optimize(query)
+
+
+class TestGammaInfluence:
+    def test_empty_join_pushed_down_after_validation(self, db):
+        """Feeding the validated empty join makes the optimizer evaluate it first."""
+        query = make_ott_query(db, [0, 0, 0, 0, 1])
+        gamma = Gamma()
+        gamma.record({"r4", "r5"}, 0.0)
+        gamma.record({"r1", "r2", "r3", "r4", "r5"}, 0.0)
+        plan = Optimizer(db).optimize(query, gamma)
+        # The empty pair join must appear as a join node of its own (it is the
+        # cheapest thing to do first), rather than being delayed to the top.
+        join_sets = {frozenset(node.relations) for node in plan.join_nodes()}
+        assert frozenset({"r4", "r5"}) in join_sets
+
+    def test_gamma_changes_estimated_rows(self, db):
+        query = make_ott_query(db, [0, 0, 0, 0, 0])
+        gamma = Gamma()
+        gamma.record({"r1", "r2"}, 123456.0)
+        plan = Optimizer(db).optimize(query, gamma)
+        estimates = {
+            frozenset(node.relations): node.estimated_rows for node in plan.join_nodes()
+        }
+        if frozenset({"r1", "r2"}) in estimates:
+            assert estimates[frozenset({"r1", "r2"})] == pytest.approx(123456.0)
+
+    def test_plans_identical_when_gamma_confirms_estimates(self, db):
+        query = make_ott_query(db, [0, 0, 0, 0, 0])
+        optimizer = Optimizer(db)
+        baseline = optimizer.optimize(query)
+        confirming = Gamma()
+        for node in baseline.join_nodes():
+            confirming.record(node.relations, node.estimated_rows)
+        confirmed_plan = optimizer.optimize(query, confirming)
+        assert JoinTree.of(confirmed_plan).join_set == JoinTree.of(baseline).join_set
+
+
+class TestGeqo:
+    def test_geqo_kicks_in_above_threshold(self, db):
+        query = make_ott_query(db, [0, 0, 0, 0, 0])
+        settings = OptimizerSettings(geqo_threshold=3, geqo_pool_size=16)
+        optimizer = Optimizer(db, settings)
+        plan = optimizer.optimize(query)
+        assert optimizer.last_report.used_geqo
+        assert plan.relations == frozenset({"r1", "r2", "r3", "r4", "r5"})
+        assert JoinTree.of(plan).is_left_deep()
+
+    def test_geqo_plans_execute_correctly(self, db):
+        # A three-relation all-matching query keeps the join result small
+        # enough to execute while still exercising the GEQO code path.
+        query = make_ott_query(db, [0, 0, 0])
+        dp_plan = Optimizer(db).optimize(query)
+        geqo_plan = Optimizer(db, OptimizerSettings(geqo_threshold=2)).optimize(query)
+        executor = Executor(db)
+        dp_rows = executor.execute_plan(dp_plan, query).columns["result_rows"][0]
+        geqo_rows = executor.execute_plan(geqo_plan, query).columns["result_rows"][0]
+        assert dp_rows == geqo_rows
+
+    def test_geqo_deterministic_for_fixed_seed(self, db):
+        query = make_ott_query(db, [0, 0, 0, 0, 0])
+        settings = OptimizerSettings(geqo_threshold=3, geqo_seed=5)
+        first = Optimizer(db, settings).optimize(query)
+        second = Optimizer(db, settings).optimize(query)
+        assert first.signature() == second.signature()
+
+
+class TestProfiles:
+    def test_known_profiles_exist(self):
+        assert set(OPTIMIZER_PROFILES) == {"postgresql", "system_a", "system_b"}
+        with pytest.raises(KeyError):
+            profile_settings("oracle")
+
+    def test_system_a_is_left_deep_without_mcv_refinement(self, db):
+        settings = profile_settings("system_a")
+        assert not settings.allow_bushy
+        assert not settings.use_mcv_join_refinement
+        query = make_ott_query(db, [0, 0, 0, 0, 1])
+        plan = Optimizer(db, settings).optimize(query)
+        assert JoinTree.of(plan).is_left_deep()
+
+    def test_system_b_produces_valid_plans(self, db):
+        query = make_ott_query(db, [0, 0, 0, 0, 1])
+        plan = Optimizer(db, profile_settings("system_b")).optimize(query)
+        assert plan.relations == frozenset({"r1", "r2", "r3", "r4", "r5"})
+
+
+class TestAccessPaths:
+    def test_index_scan_chosen_for_selective_indexed_predicate(self):
+        # A dedicated database where the equality predicate matches ~10 of
+        # 20,000 rows, so fetching a handful of pages at random beats reading
+        # all 200 pages sequentially.
+        selective_db = generate_ott_database(
+            num_tables=2, rows_per_table=20_000, rows_per_value=10, seed=2,
+            create_samples=False,
+        )
+        query = (
+            QueryBuilder("q").table("r1").table("r2")
+            .filter("r1", "a", "=", 3)
+            .join("r1", "b", "r2", "b").build()
+        )
+        plan = Optimizer(selective_db).optimize(query)
+        scans = {node.alias: node for node in plan.scan_nodes()}
+        assert scans["r1"].method is ScanMethod.INDEX_SCAN
+        assert scans["r1"].index_column == "a"
+
+    def test_seq_scan_when_no_predicate(self, db):
+        query = QueryBuilder("q").table("r1").build()
+        plan = Optimizer(db).optimize(query)
+        assert plan.method is ScanMethod.SEQ_SCAN
+
+    def test_index_scan_disabled_by_settings(self, db):
+        query = QueryBuilder("q").table("r1").filter("r1", "a", "=", 3).build()
+        plan = Optimizer(db, OptimizerSettings(enable_index_scan=False)).optimize(query)
+        assert plan.method is ScanMethod.SEQ_SCAN

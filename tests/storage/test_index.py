@@ -1,0 +1,68 @@
+"""Unit tests for hash and sorted indexes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.table import Column, Table, TableSchema
+
+
+@pytest.fixture
+def table():
+    schema = TableSchema("t", (Column("k", "int"), Column("v", "int")))
+    return Table(schema, {"k": np.array([5, 3, 5, 1, 3, 5]), "v": np.arange(6)})
+
+
+class TestHashIndex:
+    def test_lookup_returns_all_matches(self, table):
+        index = HashIndex(table, "k")
+        assert sorted(index.lookup(5).tolist()) == [0, 2, 5]
+        assert sorted(index.lookup(3).tolist()) == [1, 4]
+        assert index.lookup(1).tolist() == [3]
+
+    def test_lookup_missing_value_is_empty(self, table):
+        index = HashIndex(table, "k")
+        assert index.lookup(42).size == 0
+
+    def test_num_keys(self, table):
+        assert HashIndex(table, "k").num_keys == 3
+
+    def test_missing_column_rejected(self, table):
+        with pytest.raises(CatalogError):
+            HashIndex(table, "missing")
+
+    def test_lookup_values_match_base_table(self, table):
+        index = HashIndex(table, "k")
+        rows = index.lookup(5)
+        assert set(table.column("k")[rows]) == {5}
+
+
+class TestSortedIndex:
+    def test_point_lookup(self, table):
+        index = SortedIndex(table, "k")
+        assert sorted(index.lookup(3).tolist()) == [1, 4]
+
+    def test_range_lookup_inclusive(self, table):
+        index = SortedIndex(table, "k")
+        rows = index.range_lookup(3, 5)
+        assert sorted(table.column("k")[rows].tolist()) == [3, 3, 5, 5, 5]
+
+    def test_range_lookup_exclusive_bounds(self, table):
+        index = SortedIndex(table, "k")
+        rows = index.range_lookup(1, 5, include_low=False, include_high=False)
+        assert sorted(table.column("k")[rows].tolist()) == [3, 3]
+
+    def test_open_ended_ranges(self, table):
+        index = SortedIndex(table, "k")
+        assert len(index.range_lookup(None, None)) == 6
+        assert sorted(table.column("k")[index.range_lookup(4, None)].tolist()) == [5, 5, 5]
+        assert sorted(table.column("k")[index.range_lookup(None, 2)].tolist()) == [1]
+
+    def test_empty_range(self, table):
+        index = SortedIndex(table, "k")
+        assert index.range_lookup(10, 20).size == 0
+
+    def test_missing_column_rejected(self, table):
+        with pytest.raises(CatalogError):
+            SortedIndex(table, "missing")
