@@ -14,101 +14,45 @@ before joining, so the same machinery also yields validated base-table
 ``validate_plan`` is the entry point Algorithm 1 uses: it computes the
 sampling estimate for every join appearing in a plan (plus the scanned base
 relations) and returns them as a Δ mapping ready to be merged into Γ.
+
+All relational kernels come from :mod:`repro.relalg` (shared with the
+executor).  Two properties of this workload make sample joins much cheaper
+than re-running them naively:
+
+* filtered samples are projected down to their *join columns* — counting the
+  join result needs no payload columns;
+* the join sets Algorithm 1 validates are nested (every join node of a plan
+  contains its child's join set), so intermediate sample joins are kept in a
+  **join-prefix cache**: validating ``{R1,R2,R3}`` after ``{R1,R2}`` reuses
+  the cached two-way join and performs only the third join, both within one
+  plan and across re-optimization rounds.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional
 
-import numpy as np
+import networkx as nx
 
 from repro.cardinality.gamma import JoinSet
 from repro.errors import SamplingError
 from repro.plans.nodes import JoinNode, PlanNode, ScanNode
-from repro.sql.ast import JoinPredicate, LocalPredicate, Query
+from repro.relalg import Relation, filter_relation, hash_join
+from repro.sql.ast import Query
 from repro.storage.catalog import Database
 from repro.storage.sampling import SampleSet
 
+#: Intermediate sample joins larger than this are not kept in the prefix
+#: cache: a many-to-many (or cross-product) sample join can dwarf the base
+#: samples, and pinning such relations for the estimator's lifetime would
+#: grow memory without bound.  Their *counts* are still cached.
+PREFIX_CACHE_MAX_ROWS = 2_000_000
 
-def _apply_local_predicates(
-    columns: Dict[str, np.ndarray], alias: str, predicates: Sequence[LocalPredicate]
-) -> Dict[str, np.ndarray]:
-    """Filter a column mapping by the conjunction of local predicates."""
-    if not predicates:
-        return columns
-    num_rows = len(next(iter(columns.values()))) if columns else 0
-    mask = np.ones(num_rows, dtype=bool)
-    for predicate in predicates:
-        values = columns[f"{alias}.{predicate.column}"]
-        if predicate.op == "=":
-            mask &= values == predicate.value
-        elif predicate.op == "<>":
-            mask &= values != predicate.value
-        elif predicate.op == "<":
-            mask &= values < predicate.value
-        elif predicate.op == "<=":
-            mask &= values <= predicate.value
-        elif predicate.op == ">":
-            mask &= values > predicate.value
-        else:
-            mask &= values >= predicate.value
-    return {name: array[mask] for name, array in columns.items()}
-
-
-def _join_columns(
-    left: Dict[str, np.ndarray],
-    right: Dict[str, np.ndarray],
-    predicates: Sequence[JoinPredicate],
-    left_aliases: FrozenSet[str],
-) -> Dict[str, np.ndarray]:
-    """Hash-join two column mappings on the given equi-join predicates."""
-    left_rows = len(next(iter(left.values()))) if left else 0
-    right_rows = len(next(iter(right.values()))) if right else 0
-    if left_rows == 0 or right_rows == 0:
-        return {name: array[:0] for name, array in {**left, **right}.items()}
-    if not predicates:
-        # Cross product (should be rare: only for disconnected join graphs).
-        left_index = np.repeat(np.arange(left_rows), right_rows)
-        right_index = np.tile(np.arange(right_rows), left_rows)
-    else:
-        first, *rest = predicates
-        if first.left_alias in left_aliases:
-            left_key = left[f"{first.left_alias}.{first.left_column}"]
-            right_key = right[f"{first.right_alias}.{first.right_column}"]
-        else:
-            left_key = left[f"{first.right_alias}.{first.right_column}"]
-            right_key = right[f"{first.left_alias}.{first.left_column}"]
-        order = np.argsort(right_key, kind="stable")
-        sorted_right = right_key[order]
-        starts = np.searchsorted(sorted_right, left_key, side="left")
-        ends = np.searchsorted(sorted_right, left_key, side="right")
-        counts = ends - starts
-        left_index = np.repeat(np.arange(left_rows), counts)
-        if counts.sum() == 0:
-            right_index = np.empty(0, dtype=np.int64)
-        else:
-            offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-            positions = np.arange(counts.sum()) - np.repeat(offsets, counts)
-            right_index = order[np.repeat(starts, counts) + positions]
-        # Apply remaining predicates as residual filters on the matched pairs.
-        for predicate in rest:
-            if predicate.left_alias in left_aliases:
-                left_values = left[f"{predicate.left_alias}.{predicate.left_column}"][left_index]
-                right_values = right[f"{predicate.right_alias}.{predicate.right_column}"][right_index]
-            else:
-                left_values = left[f"{predicate.right_alias}.{predicate.right_column}"][left_index]
-                right_values = right[f"{predicate.left_alias}.{predicate.left_column}"][right_index]
-            keep = left_values == right_values
-            left_index = left_index[keep]
-            right_index = right_index[keep]
-    result: Dict[str, np.ndarray] = {}
-    for name, array in left.items():
-        result[name] = array[left_index]
-    for name, array in right.items():
-        result[name] = array[right_index]
-    return result
+#: Total rows the prefix cache may hold across all entries; the least
+#: recently used entries are evicted beyond this budget.
+PREFIX_CACHE_TOTAL_ROWS = 10_000_000
 
 
 @dataclass
@@ -120,6 +64,11 @@ class SamplingValidation:
     elapsed_seconds: float = 0.0
     #: Number of distinct join sets evaluated over samples.
     joins_validated: int = 0
+    #: Sample sub-joins answered from the join-prefix cache in this round.
+    prefix_cache_hits: int = 0
+    #: Row operations (input + output rows of each executed sample join) this
+    #: round actually performed; cache hits keep this low.
+    sample_join_row_ops: int = 0
 
 
 class SamplingEstimator:
@@ -133,64 +82,158 @@ class SamplingEstimator:
             raise SamplingError(
                 "no sample tables available; call Database.create_samples() first"
             )
-        #: Cache of filtered sample columns per alias.
-        self._filtered_cache: Dict[str, Dict[str, np.ndarray]] = {}
+        #: Cache of filtered (and join-column-projected) sample relations.
+        self._filtered_cache: Dict[str, Relation] = {}
+        #: Join-prefix cache: alias set (in canonical join order) → joined
+        #: sample relation.  Samples are fixed for the estimator's lifetime,
+        #: so cached sub-joins stay valid across re-optimization rounds.
+        self._prefix_cache: Dict[FrozenSet[str], Relation] = {}
+        #: Cache of observed sample-join counts per join set (shared by
+        #: ``estimate_cardinality`` and ``estimate_selectivity``).
+        self._count_cache: Dict[FrozenSet[str], int] = {}
         #: Cache of sampling estimates per join set (samples are fixed, so the
         #: estimate for a join set never changes within one re-optimization).
         self._estimate_cache: Dict[JoinSet, float] = {}
+        #: The query's join graph (aliases as nodes), built once.
+        self._join_graph = query.join_graph()
+        #: Lifetime counters (``validate_plan`` reports per-round deltas).
+        self.prefix_cache_hits = 0
+        self.sample_join_row_ops = 0
 
     # ------------------------------------------------------------------ #
     # Sample-side evaluation
     # ------------------------------------------------------------------ #
-    def _filtered_sample(self, alias: str) -> Dict[str, np.ndarray]:
-        """The sample of ``alias`` with the query's local predicates applied."""
+    def _join_columns_for(self, alias: str) -> List[str]:
+        """The columns of ``alias`` that appear in any join predicate."""
+        columns = set()
+        for predicate in self.query.join_predicates:
+            if predicate.left_alias == alias:
+                columns.add(predicate.left_column)
+            elif predicate.right_alias == alias:
+                columns.add(predicate.right_column)
+        return sorted(columns)
+
+    def _filtered_sample(self, alias: str) -> Relation:
+        """The sample of ``alias`` filtered by the query's local predicates.
+
+        The result is projected down to the alias's join columns: the
+        estimator only ever counts rows, so payload columns are dead weight.
+        """
         if alias in self._filtered_cache:
             return self._filtered_cache[alias]
         table_name = self.query.table_for_alias(alias)
         sample = self.samples.sample_for(table_name)
-        columns = {f"{alias}.{name}": sample.column(name) for name in sample.column_names}
-        filtered = _apply_local_predicates(
-            columns, alias, self.query.local_predicates_for(alias)
+        predicate_columns = {
+            p.column for p in self.query.local_predicates_for(alias)
+        }
+        join_columns = self._join_columns_for(alias)
+        relation = Relation.from_table(
+            sample, alias, sorted(predicate_columns | set(join_columns))
         )
+        filtered = filter_relation(
+            relation, alias, self.query.local_predicates_for(alias)
+        )
+        filtered = filtered.project(f"{alias}.{name}" for name in join_columns)
         self._filtered_cache[alias] = filtered
         return filtered
 
-    def _sample_join_count(self, aliases: FrozenSet[str]) -> int:
-        """Number of rows the join of ``aliases`` produces over the samples."""
-        ordered = self._join_order(aliases)
-        current = dict(self._filtered_sample(ordered[0]))
-        included = frozenset({ordered[0]})
-        for alias in ordered[1:]:
-            predicates = self.query.join_predicates_between(included, {alias})
-            current = _join_columns(current, self._filtered_sample(alias), predicates, included)
-            included = included | {alias}
-            if not current or len(next(iter(current.values()))) == 0:
-                return 0
-        return len(next(iter(current.values()))) if current else 0
+    def _join_relation(self, aliases: FrozenSet[str]) -> Relation:
+        """The joined sample relation for ``aliases``, reusing cached sub-joins.
 
-    def _join_order(self, aliases: FrozenSet[str]) -> List[str]:
-        """Order the aliases so each one (after the first) joins what came before.
-
-        A breadth-first traversal of the query's join graph restricted to the
-        requested aliases; relations unreachable through join predicates are
-        appended at the end (they contribute a cross product).
+        The join result for an alias set does not depend on the join order,
+        so *any* cached subset is a valid starting point: the largest one is
+        picked and the remaining aliases are joined outward from it (staying
+        connected in the join graph where possible).  Every intermediate
+        result is cached, so validating the join sets of one plan — and of
+        later re-optimization rounds — degenerates to at most one new join
+        per join set.
         """
-        graph = self.query.join_graph().subgraph(aliases)
-        remaining = set(aliases)
+        cached = self._prefix_cache.get(aliases)
+        if cached is not None:
+            self.prefix_cache_hits += 1
+            self._touch_prefix(aliases)
+            return cached
+        best: Optional[FrozenSet[str]] = None
+        for subset in self._prefix_cache:
+            if subset < aliases and (best is None or len(subset) > len(best)):
+                # A disconnected cached subset is a sample cross product —
+                # typically far larger than a freshly built connected join —
+                # so it is never worth starting from.
+                if len(subset) > 1 and not self._is_connected(subset):
+                    continue
+                best = subset
+        if best is not None and len(best) > 1:
+            self.prefix_cache_hits += 1
+            self._touch_prefix(best)
+            current = self._prefix_cache[best]
+            included = best
+        else:
+            first = min(aliases)
+            current = self._filtered_sample(first)
+            included = frozenset({first})
+            self._store_prefix(included, current)
+        for alias in self._extension_order(included, aliases):
+            right = self._filtered_sample(alias)
+            predicates = self.query.join_predicates_between(included, {alias})
+            joined = hash_join(current, right, predicates, included)
+            self.sample_join_row_ops += current.num_rows + right.num_rows + joined.num_rows
+            current = joined
+            included = included | {alias}
+            self._store_prefix(included, current)
+        return current
+
+    def _touch_prefix(self, key: FrozenSet[str]) -> None:
+        """Mark a cache entry as recently used (dict order is LRU order)."""
+        self._prefix_cache[key] = self._prefix_cache.pop(key)
+
+    def _store_prefix(self, key: FrozenSet[str], relation: Relation) -> None:
+        """Cache an intermediate sample join, evicting LRU entries beyond the
+        per-entry and total row budgets."""
+        if relation.num_rows > PREFIX_CACHE_MAX_ROWS:
+            return
+        self._prefix_cache[key] = relation
+        total = sum(entry.num_rows for entry in self._prefix_cache.values())
+        for old_key in list(self._prefix_cache):
+            if total <= PREFIX_CACHE_TOTAL_ROWS or old_key == key:
+                continue
+            total -= self._prefix_cache.pop(old_key).num_rows
+
+    def _is_connected(self, aliases: FrozenSet[str]) -> bool:
+        """True when ``aliases`` are mutually reachable via join predicates."""
+        return nx.is_connected(self._join_graph.subgraph(aliases))
+
+    def _extension_order(
+        self, included: FrozenSet[str], aliases: FrozenSet[str]
+    ) -> List[str]:
+        """Order for joining ``aliases - included`` onto an existing sub-join.
+
+        Each step prefers an alias connected (through a join predicate) to
+        what is already included, so cross products only appear for genuinely
+        disconnected join graphs.
+        """
+        graph = self._join_graph.subgraph(aliases)
+        done = set(included)
+        remaining = set(aliases) - done
         ordered: List[str] = []
         while remaining:
-            start = sorted(remaining)[0]
-            frontier = [start]
-            seen = {start}
-            while frontier:
-                node = frontier.pop(0)
-                ordered.append(node)
-                remaining.discard(node)
-                for neighbor in sorted(graph.neighbors(node)):
-                    if neighbor in remaining and neighbor not in seen:
-                        seen.add(neighbor)
-                        frontier.append(neighbor)
+            connected = sorted(
+                alias
+                for alias in remaining
+                if any(neighbor in done for neighbor in graph.neighbors(alias))
+            )
+            next_alias = connected[0] if connected else sorted(remaining)[0]
+            ordered.append(next_alias)
+            done.add(next_alias)
+            remaining.discard(next_alias)
         return ordered
+
+    def _sample_join_count(self, aliases: FrozenSet[str]) -> int:
+        """Number of rows the join of ``aliases`` produces over the samples."""
+        if aliases in self._count_cache:
+            return self._count_cache[aliases]
+        count = self._join_relation(aliases).num_rows
+        self._count_cache[aliases] = count
+        return count
 
     # ------------------------------------------------------------------ #
     # Public estimation API
@@ -204,7 +247,9 @@ class SamplingEstimator:
             return self._estimate_cache[key]
         observed = self._sample_join_count(key)
         scale = 1.0
-        for alias in key:
+        # Sorted iteration keeps the float product independent of set
+        # construction order (and therefore run-to-run reproducible).
+        for alias in sorted(key):
             table_name = self.query.table_for_alias(alias)
             scale *= self.samples.scale_factor(table_name)
         estimate = observed * scale
@@ -214,9 +259,11 @@ class SamplingEstimator:
     def estimate_selectivity(self, aliases: Iterable[str]) -> float:
         """The paper's rho_hat: sample join size over the product of sample sizes."""
         key = frozenset(aliases)
+        if not key:
+            raise ValueError("join set must contain at least one relation")
         observed = self._sample_join_count(key)
         denominator = 1.0
-        for alias in key:
+        for alias in sorted(key):
             table_name = self.query.table_for_alias(alias)
             denominator *= max(1, self.samples.sample_for(table_name).num_rows)
         return observed / denominator
@@ -232,8 +279,14 @@ class SamplingEstimator:
         predicates"), only join nodes are validated by default; pass
         ``validate_base_relations=True`` to also validate the base-relation
         selections (useful for ablation experiments).
+
+        The returned :class:`SamplingValidation` also reports how much work
+        the round performed (``sample_join_row_ops``) and how often the
+        join-prefix cache satisfied a sub-join (``prefix_cache_hits``).
         """
         started = time.perf_counter()
+        hits_before = self.prefix_cache_hits
+        row_ops_before = self.sample_join_row_ops
         validation = SamplingValidation()
         join_sets: List[FrozenSet[str]] = []
         for node in plan.walk():
@@ -241,10 +294,14 @@ class SamplingEstimator:
                 join_sets.append(frozenset({node.alias}))
             elif isinstance(node, JoinNode):
                 join_sets.append(frozenset(node.relations))
-        for join_set in join_sets:
+        # Validate small join sets first so every larger one finds its
+        # sub-join already in the prefix cache.
+        for join_set in sorted(join_sets, key=len):
             if join_set in validation.cardinalities:
                 continue
             validation.cardinalities[join_set] = self.estimate_cardinality(join_set)
             validation.joins_validated += 1
         validation.elapsed_seconds = time.perf_counter() - started
+        validation.prefix_cache_hits = self.prefix_cache_hits - hits_before
+        validation.sample_join_row_ops = self.sample_join_row_ops - row_ops_before
         return validation

@@ -106,6 +106,39 @@ def local_predicate_selectivity(stats: Optional[ColumnStatistics], predicate: Lo
         return equality_selectivity(stats, predicate.value)
     if predicate.op == "<>":
         return _clamp(1.0 - equality_selectivity(stats, predicate.value))
+    if predicate.op == "in":
+        # Candidates are disjoint equality predicates: sum their selectivities
+        # (deduplicated — execution matches each row at most once; sorted by
+        # repr so the float sum is deterministic for mixed-type candidates).
+        candidates = sorted(set(predicate.value), key=repr)
+        return _clamp(sum(equality_selectivity(stats, v) for v in candidates))
+    if predicate.op == "between":
+        # P(low <= x <= high) = P(x >= low) + P(x <= high) - 1 for the two
+        # one-sided ranges of the same distribution.  The identity only holds
+        # when both one-sided estimates come from real statistics — if either
+        # side would fall back to a default (non-numeric column or bound,
+        # no histogram/min-max), the sum goes negative and would clamp to
+        # ~zero, so use the generic range guess instead.
+        if stats is None or not stats.is_numeric:
+            return DEFAULT_RANGE_SELECTIVITY
+        low, high = predicate.value
+        try:
+            float(low)  # type: ignore[arg-type]
+            float(high)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return DEFAULT_RANGE_SELECTIVITY
+        has_range_stats = stats.histogram is not None or (
+            stats.min_value is not None
+            and stats.max_value is not None
+            and stats.max_value > stats.min_value
+        )
+        if not has_range_stats:
+            return DEFAULT_RANGE_SELECTIVITY
+        return _clamp(
+            inequality_selectivity(stats, ">=", low)
+            + inequality_selectivity(stats, "<=", high)
+            - 1.0
+        )
     return inequality_selectivity(stats, predicate.op, predicate.value)
 
 

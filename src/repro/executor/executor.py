@@ -15,25 +15,36 @@ reports from its 10 GB PostgreSQL installation, and it preserves the ordering
 and rough ratios between plans because it charges exactly the work the plan
 actually performs.  Wall-clock time is measured as well and reported next to
 the simulated time.
+
+All relational kernels come from :mod:`repro.relalg`.  The executor adds two
+physical-execution concerns on top:
+
+* **join dispatch** — ``HASH_JOIN`` (and ``INDEX_NESTED_LOOP``, a lookup-based
+  method) runs the hash kernel, ``MERGE_JOIN`` the sort-merge kernel and
+  ``NESTED_LOOP`` the block nested-loop kernel, so the cost profiles the
+  optimizer distinguishes correspond to genuinely different algorithms;
+* **projection pushdown** — scans only materialise the columns later
+  predicates, join keys, aggregates or the output need, so joins never carry
+  dead columns (a :class:`~repro.relalg.Relation` tracks its row count
+  explicitly, which keeps ``COUNT(*)`` correct even with no columns left).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
-
-import numpy as np
+from typing import Dict, FrozenSet, List, Optional, Set
 
 from repro.cost.model import CostModel, ResourceVector
 from repro.cost.units import CostUnits, DEFAULT_COST_UNITS
 from repro.errors import ExecutionError
-from repro.executor.kernels import (
+from repro.relalg import (
     Relation,
-    apply_predicate_mask,
-    equi_join,
+    filter_relation,
     group_aggregate,
-    relation_num_rows,
+    hash_join,
+    merge_join,
+    nested_loop_join,
 )
 from repro.plans.nodes import (
     AggregateNode,
@@ -88,6 +99,39 @@ class ExecutionResult:
         }
 
 
+def _required_columns(plan: PlanNode, query: Optional[Query]) -> Optional[Dict[str, Set[str]]]:
+    """Columns each alias must carry past its scan, or ``None`` to keep all.
+
+    The set is the union of the plan's join-key columns and everything the
+    query's output (projections, aggregates, group-by) reads.  ``SELECT *``
+    queries (and plans executed without a query) disable pushdown.
+    """
+    if query is None:
+        return None
+    if query.aggregates or query.group_by:
+        output = {
+            (a.alias, a.column)
+            for a in query.aggregates
+            if a.alias is not None and a.column is not None
+        }
+        output |= {(ref.alias, ref.column) for ref in query.group_by}
+    elif query.projections:
+        output = {(ref.alias, ref.column) for ref in query.projections}
+    else:
+        return None
+    required: Dict[str, Set[str]] = {}
+    for alias, column in output:
+        required.setdefault(alias, set()).add(column)
+    for node in plan.walk():
+        if isinstance(node, JoinNode):
+            for predicate in node.predicates:
+                required.setdefault(predicate.left_alias, set()).add(predicate.left_column)
+                required.setdefault(predicate.right_alias, set()).add(predicate.right_column)
+        elif isinstance(node, ScanNode):
+            required.setdefault(node.alias, set())
+    return required
+
+
 class Executor:
     """Evaluate physical plans over the database."""
 
@@ -103,10 +147,27 @@ class Executor:
     # ------------------------------------------------------------------ #
     # Node evaluation
     # ------------------------------------------------------------------ #
-    def _execute_scan(self, node: ScanNode, result: ExecutionResult) -> Relation:
+    def _execute_scan(
+        self,
+        node: ScanNode,
+        result: ExecutionResult,
+        required: Optional[Dict[str, Set[str]]],
+    ) -> Relation:
         table = self.db.table(node.table)
         alias = node.alias
         predicates = list(node.predicates)
+
+        if required is None:
+            load = list(table.column_names)
+            keep = None
+        else:
+            carry = required.get(alias, set())
+            load = [
+                name
+                for name in table.column_names
+                if name in carry or any(p.column == name for p in predicates)
+            ]
+            keep = {f"{alias}.{name}" for name in carry}
 
         if node.method is ScanMethod.INDEX_SCAN and node.index_column is not None:
             index_predicate = next(
@@ -119,24 +180,22 @@ class Executor:
             index = self.db.hash_index(node.table, node.index_column)
             row_ids = index.lookup(index_predicate.value)
             matched = len(row_ids)
-            relation: Relation = {
-                f"{alias}.{name}": table.column(name)[row_ids] for name in table.column_names
-            }
+            relation = Relation.from_table(table, alias, load).take(row_ids)
             residual = [p for p in predicates if p is not index_predicate]
-            relation = apply_predicate_mask(relation, alias, residual)
-            output_rows = relation_num_rows(relation)
+            relation = filter_relation(relation, alias, residual)
+            output_rows = relation.num_rows
             resources = self.cost_model.index_scan_resources(
                 table.num_rows, matched, len(residual), output_rows
             )
         else:
-            relation = {
-                f"{alias}.{name}": table.column(name) for name in table.column_names
-            }
-            relation = apply_predicate_mask(relation, alias, predicates)
-            output_rows = relation_num_rows(relation)
+            relation = Relation.from_table(table, alias, load)
+            relation = filter_relation(relation, alias, predicates)
+            output_rows = relation.num_rows
             resources = self.cost_model.seq_scan_resources(
                 table.num_rows, len(predicates), output_rows
             )
+        if keep is not None:
+            relation = relation.project(keep)
 
         result.node_executions.append(
             NodeExecution(
@@ -149,21 +208,36 @@ class Executor:
         )
         return relation
 
-    def _execute_join(self, node: JoinNode, result: ExecutionResult) -> Relation:
+    def _execute_join(
+        self,
+        node: JoinNode,
+        result: ExecutionResult,
+        required: Optional[Dict[str, Set[str]]],
+    ) -> Relation:
         if node.left is None or node.right is None:
             raise ExecutionError("join node is missing an input")
-        left_relation = self._execute_node(node.left, result)
-        right_relation = self._execute_node(node.right, result)
-        left_rows = relation_num_rows(left_relation)
-        right_rows = relation_num_rows(right_relation)
+        left_relation = self._execute_node(node.left, result, required)
+        right_relation = self._execute_node(node.right, result, required)
+        left_rows = left_relation.num_rows
+        right_rows = right_relation.num_rows
 
-        joined = equi_join(
+        if node.method is JoinMethod.MERGE_JOIN:
+            kernel = merge_join
+        elif node.method is JoinMethod.NESTED_LOOP:
+            kernel = nested_loop_join
+        elif node.method in (JoinMethod.HASH_JOIN, JoinMethod.INDEX_NESTED_LOOP):
+            # INDEX_NESTED_LOOP is lookup-based and shares the build/probe
+            # kernel (its cost profile differs, its output not).
+            kernel = hash_join
+        else:
+            raise ExecutionError(f"unsupported join method {node.method!r}")
+        joined = kernel(
             left_relation,
             right_relation,
             node.predicates,
             frozenset(node.left.relations),
         )
-        output_rows = relation_num_rows(joined)
+        output_rows = joined.num_rows
 
         inner_table_rows = 0.0
         if node.method is JoinMethod.INDEX_NESTED_LOOP and isinstance(node.right, ScanNode):
@@ -186,13 +260,18 @@ class Executor:
         )
         return joined
 
-    def _execute_aggregate(self, node: AggregateNode, result: ExecutionResult) -> Relation:
+    def _execute_aggregate(
+        self,
+        node: AggregateNode,
+        result: ExecutionResult,
+        required: Optional[Dict[str, Set[str]]],
+    ) -> Relation:
         if node.child is None:
             raise ExecutionError("aggregate node is missing its input")
-        child_relation = self._execute_node(node.child, result)
-        input_rows = relation_num_rows(child_relation)
+        child_relation = self._execute_node(node.child, result, required)
+        input_rows = child_relation.num_rows
         output = group_aggregate(child_relation, node.group_by, node.aggregates)
-        output_rows = relation_num_rows(output)
+        output_rows = output.num_rows
         resources = self.cost_model.aggregate_resources(input_rows, output_rows)
         result.node_executions.append(
             NodeExecution(
@@ -205,13 +284,18 @@ class Executor:
         )
         return output
 
-    def _execute_node(self, node: PlanNode, result: ExecutionResult) -> Relation:
+    def _execute_node(
+        self,
+        node: PlanNode,
+        result: ExecutionResult,
+        required: Optional[Dict[str, Set[str]]],
+    ) -> Relation:
         if isinstance(node, ScanNode):
-            return self._execute_scan(node, result)
+            return self._execute_scan(node, result, required)
         if isinstance(node, JoinNode):
-            return self._execute_join(node, result)
+            return self._execute_join(node, result, required)
         if isinstance(node, AggregateNode):
-            return self._execute_aggregate(node, result)
+            return self._execute_aggregate(node, result, required)
         raise ExecutionError(f"unknown plan node type {type(node).__name__}")
 
     # ------------------------------------------------------------------ #
@@ -219,19 +303,19 @@ class Executor:
     # ------------------------------------------------------------------ #
     def execute_plan(self, plan: PlanNode, query: Optional[Query] = None) -> ExecutionResult:
         """Execute a physical plan and return the instrumented result."""
-        result = ExecutionResult(columns={}, num_rows=0)
+        result = ExecutionResult(columns=Relation(), num_rows=0)
+        required = _required_columns(plan, query)
         started = time.perf_counter()
-        relation = self._execute_node(plan, result)
+        relation = self._execute_node(plan, result, required)
         result.wall_seconds = time.perf_counter() - started
 
         # Project to the query's requested output columns if it asked for
         # specific columns and no aggregation already shaped the output.
         if query is not None and query.projections and not query.aggregates and not query.group_by:
-            wanted = {f"{ref.alias}.{ref.column}" for ref in query.projections}
-            relation = {name: array for name, array in relation.items() if name in wanted}
+            relation = relation.project(f"{ref.alias}.{ref.column}" for ref in query.projections)
 
-        result.columns = relation
-        result.num_rows = relation_num_rows(relation)
+        result.columns = relation.decoded()
+        result.num_rows = relation.num_rows
         total = ResourceVector()
         for execution in result.node_executions:
             total = total + execution.resources

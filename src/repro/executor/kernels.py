@@ -1,213 +1,48 @@
-"""Vectorised kernels shared by the physical operators.
+"""Compatibility pointer — the executor's kernels live in :mod:`repro.relalg`.
 
-A *relation* during execution is a mapping from qualified column names
-(``"alias.column"``) to NumPy arrays of equal length.  The kernels below
-implement predicate filtering, equi-joins (sort + binary-search based, which
-behaves like a hash join for our purposes) and grouped aggregation over that
-representation.
+This module used to hold the executor's private predicate/join/aggregation
+kernels.  Those implementations moved to the shared relational-algebra core,
+which both the executor and the sampling-based cardinality estimator run on:
+
+* predicate filtering → :mod:`repro.relalg.predicates`
+* equi-joins (hash / sort-merge / nested-loop) → :mod:`repro.relalg.joins`
+* grouped aggregation → :mod:`repro.relalg.aggregate`
+* the runtime relation representation → :mod:`repro.relalg.relation`
+
+Nothing inside the repository imports this module anymore; it remains only
+as a stable import path for external code written against the seed API,
+re-exporting the historical names.  New code should import from
+:mod:`repro.relalg` directly.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from repro.relalg import (
+    Relation,
+    as_relation,
+    filter_relation,
+    group_aggregate,
+    hash_join,
+    nested_loop_join,
+    relation_num_rows,
+)
 
-import numpy as np
-
-from repro.errors import ExecutionError
-from repro.sql.ast import Aggregate, ColumnRef, JoinPredicate, LocalPredicate
-
-#: The runtime relation representation.
-Relation = Dict[str, np.ndarray]
-
-
-def relation_num_rows(relation: Relation) -> int:
-    """Number of rows of a runtime relation (0 for an empty mapping)."""
-    if not relation:
-        return 0
-    return len(next(iter(relation.values())))
+#: Historical names from the seed kernel module.
+apply_predicate_mask = filter_relation
+equi_join = hash_join
 
 
-def empty_like(relation: Relation) -> Relation:
+def empty_like(relation) -> Relation:
     """A zero-row relation with the same columns as ``relation``."""
-    return {name: array[:0] for name, array in relation.items()}
+    return as_relation(relation).empty_like()
 
 
-def apply_predicate_mask(
-    relation: Relation, alias: str, predicates: Sequence[LocalPredicate]
-) -> Relation:
-    """Filter a relation by a conjunction of local predicates on ``alias``."""
-    if not predicates:
-        return relation
-    rows = relation_num_rows(relation)
-    mask = np.ones(rows, dtype=bool)
-    for predicate in predicates:
-        key = f"{alias}.{predicate.column}"
-        if key not in relation:
-            raise ExecutionError(f"column {key!r} missing during predicate evaluation")
-        values = relation[key]
-        if predicate.op == "=":
-            mask &= values == predicate.value
-        elif predicate.op == "<>":
-            mask &= values != predicate.value
-        elif predicate.op == "<":
-            mask &= values < predicate.value
-        elif predicate.op == "<=":
-            mask &= values <= predicate.value
-        elif predicate.op == ">":
-            mask &= values > predicate.value
-        elif predicate.op == ">=":
-            mask &= values >= predicate.value
-        else:  # pragma: no cover - validated at parse time
-            raise ExecutionError(f"unsupported operator {predicate.op!r}")
-    return {name: array[mask] for name, array in relation.items()}
-
-
-def equi_join(
-    left: Relation,
-    right: Relation,
-    predicates: Sequence[JoinPredicate],
-    left_aliases: frozenset,
-) -> Relation:
-    """Join two relations on equi-join predicates (cross product if none).
-
-    The first predicate drives a sort/binary-search match; the remaining
-    predicates are applied as residual filters on the matched row pairs.
-    ``left_aliases`` tells the kernel which side of each predicate lives in
-    the left relation.
-    """
-    left_rows = relation_num_rows(left)
-    right_rows = relation_num_rows(right)
-    merged_columns = {**left, **right}
-    if left_rows == 0 or right_rows == 0:
-        return empty_like(merged_columns)
-
-    if not predicates:
-        left_index = np.repeat(np.arange(left_rows), right_rows)
-        right_index = np.tile(np.arange(right_rows), left_rows)
-    else:
-        def key_arrays(predicate: JoinPredicate) -> Tuple[np.ndarray, np.ndarray]:
-            if predicate.left_alias in left_aliases:
-                return (
-                    left[f"{predicate.left_alias}.{predicate.left_column}"],
-                    right[f"{predicate.right_alias}.{predicate.right_column}"],
-                )
-            return (
-                left[f"{predicate.right_alias}.{predicate.right_column}"],
-                right[f"{predicate.left_alias}.{predicate.left_column}"],
-            )
-
-        first, *rest = predicates
-        left_key, right_key = key_arrays(first)
-        order = np.argsort(right_key, kind="stable")
-        sorted_right = right_key[order]
-        starts = np.searchsorted(sorted_right, left_key, side="left")
-        ends = np.searchsorted(sorted_right, left_key, side="right")
-        counts = ends - starts
-        total = int(counts.sum())
-        left_index = np.repeat(np.arange(left_rows), counts)
-        if total == 0:
-            right_index = np.empty(0, dtype=np.int64)
-        else:
-            offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-            positions = np.arange(total) - np.repeat(offsets, counts)
-            right_index = order[np.repeat(starts, counts) + positions]
-        for predicate in rest:
-            left_values, right_values = key_arrays(predicate)
-            keep = left_values[left_index] == right_values[right_index]
-            left_index = left_index[keep]
-            right_index = right_index[keep]
-
-    result: Relation = {}
-    for name, array in left.items():
-        result[name] = array[left_index]
-    for name, array in right.items():
-        result[name] = array[right_index]
-    return result
-
-
-def nested_loop_join(
-    left: Relation,
-    right: Relation,
-    predicates: Sequence[JoinPredicate],
-    left_aliases: frozenset,
-) -> Relation:
-    """Reference nested-loop join (same semantics as :func:`equi_join`).
-
-    Kept separate so the executor can attribute a different cost profile to
-    nested-loop plans; the produced rows are identical to :func:`equi_join`.
-    """
-    return equi_join(left, right, predicates, left_aliases)
-
-
-def group_aggregate(
-    relation: Relation,
-    group_by: Sequence[ColumnRef],
-    aggregates: Sequence[Aggregate],
-) -> Relation:
-    """Grouped aggregation over a runtime relation.
-
-    With an empty ``group_by`` the result has exactly one row (global
-    aggregates over an empty input produce count=0 and NaN for the others,
-    which is close enough to SQL semantics for the workloads used here).
-    """
-    rows = relation_num_rows(relation)
-    result: Relation = {}
-
-    def aggregate_values(values: Optional[np.ndarray], func: str, count: int) -> object:
-        if func == "count":
-            return count
-        if values is None or len(values) == 0:
-            return float("nan")
-        numeric = values.astype(np.float64)
-        if func == "sum":
-            return float(numeric.sum())
-        if func == "avg":
-            return float(numeric.mean())
-        if func == "min":
-            return float(numeric.min())
-        return float(numeric.max())
-
-    if not group_by:
-        for aggregate in aggregates:
-            if aggregate.column is not None:
-                values = relation.get(f"{aggregate.alias}.{aggregate.column}")
-            else:
-                values = None
-            result[aggregate.output_name] = np.array(
-                [aggregate_values(values, aggregate.func, rows)], dtype=object
-            )
-        return result
-
-    key_names = [f"{ref.alias}.{ref.column}" for ref in group_by]
-    key_arrays = [relation[name] for name in key_names]
-    if rows == 0:
-        for name in key_names:
-            result[name] = relation[name][:0]
-        for aggregate in aggregates:
-            result[aggregate.output_name] = np.empty(0, dtype=object)
-        return result
-
-    # Build a group id per row by lexicographically sorting the key tuple.
-    order = np.lexsort(tuple(reversed(key_arrays)))
-    sorted_keys = [array[order] for array in key_arrays]
-    changes = np.zeros(rows, dtype=bool)
-    changes[0] = True
-    for array in sorted_keys:
-        changes[1:] |= array[1:] != array[:-1]
-    group_ids = np.cumsum(changes) - 1
-    num_groups = int(group_ids[-1]) + 1
-    group_starts = np.nonzero(changes)[0]
-
-    for name, array in zip(key_names, sorted_keys):
-        result[name] = array[group_starts]
-    group_ends = np.concatenate((group_starts[1:], [rows]))
-    for aggregate in aggregates:
-        values_sorted = None
-        if aggregate.column is not None:
-            values_sorted = relation[f"{aggregate.alias}.{aggregate.column}"][order]
-        outputs = []
-        for start, end in zip(group_starts, group_ends):
-            group_values = values_sorted[start:end] if values_sorted is not None else None
-            outputs.append(aggregate_values(group_values, aggregate.func, end - start))
-        result[aggregate.output_name] = np.array(outputs, dtype=object)
-    return result
+__all__ = [
+    "Relation",
+    "apply_predicate_mask",
+    "empty_like",
+    "equi_join",
+    "group_aggregate",
+    "nested_loop_join",
+    "relation_num_rows",
+]

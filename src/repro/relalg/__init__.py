@@ -1,0 +1,65 @@
+"""The shared vectorised relational-algebra core.
+
+Every layer that evaluates relational operators — the physical executor
+(:mod:`repro.executor`), the sampling-based cardinality estimator
+(:mod:`repro.cardinality.sampling_estimator`) and ANALYZE
+(:mod:`repro.stats.analyze`) — runs on the kernels in this package; none of
+them carries a private kernel copy.
+
+Layout
+------
+``relation``
+    The :class:`Relation` runtime representation (qualified column →
+    NumPy array / dictionary-encoded column) with an explicit row count.
+``encoding``
+    Dictionary encoding for string columns (``int32`` codes into a sorted
+    dictionary) plus the shared key-factorization used by the join kernels.
+``predicates``
+    Compiled local-predicate evaluation (``= <> < <= > >= IN BETWEEN``).
+``joins``
+    Hash, sort-merge and block nested-loop equi-join kernels.
+``aggregate``
+    ``reduceat``-based grouped aggregation.
+"""
+
+from repro.relalg.aggregate import group_aggregate
+from repro.relalg.encoding import (
+    ColumnData,
+    DictEncodedArray,
+    decode_column,
+    factorize_pair,
+    take_column,
+    value_counts,
+)
+from repro.relalg.joins import (
+    hash_join,
+    join_indices,
+    merge_join,
+    nested_loop_join,
+)
+from repro.relalg.predicates import (
+    compile_predicate,
+    filter_relation,
+    predicate_mask,
+)
+from repro.relalg.relation import Relation, as_relation, relation_num_rows
+
+__all__ = [
+    "ColumnData",
+    "DictEncodedArray",
+    "Relation",
+    "as_relation",
+    "compile_predicate",
+    "decode_column",
+    "factorize_pair",
+    "filter_relation",
+    "group_aggregate",
+    "hash_join",
+    "join_indices",
+    "merge_join",
+    "nested_loop_join",
+    "predicate_mask",
+    "relation_num_rows",
+    "take_column",
+    "value_counts",
+]

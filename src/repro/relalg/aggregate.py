@@ -1,0 +1,163 @@
+"""Vectorised grouped aggregation.
+
+Rows are grouped by lexicographically sorting the key columns (dictionary
+codes for encoded string keys, so string grouping sorts ``int32`` arrays) and
+finding group boundaries; every aggregate is then computed for *all* groups
+at once with ``np.add.reduceat`` / ``np.minimum.reduceat`` /
+``np.maximum.reduceat`` over the sorted values.  This replaces the seed's
+per-group Python loop, which dominated aggregation time beyond a few hundred
+groups.
+
+SQL corner cases follow the seed semantics: a global aggregate over an empty
+input yields ``count = 0`` and NaN for the other functions; numeric
+aggregates are computed in ``float64``.  ``MIN``/``MAX`` over
+dictionary-encoded string columns reduce the codes and decode the winners
+(valid because the dictionary is sorted).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.relalg.encoding import ColumnData, DictEncodedArray, sort_key, take_column
+from repro.relalg.relation import Relation, as_relation
+from repro.sql.ast import Aggregate, ColumnRef
+
+
+def _global_aggregate(relation: Relation, aggregates: Sequence[Aggregate]) -> Relation:
+    rows = relation.num_rows
+    result = Relation(num_rows=1)
+    for aggregate in aggregates:
+        if aggregate.func == "count":
+            result[aggregate.output_name] = np.array([rows], dtype=np.int64)
+            continue
+        column = relation.get(f"{aggregate.alias}.{aggregate.column}")
+        if column is None or len(column) == 0:
+            result[aggregate.output_name] = np.array([float("nan")])
+            continue
+        if isinstance(column, DictEncodedArray):
+            if aggregate.func == "min":
+                value = column.dictionary[int(column.codes.min())]
+            elif aggregate.func == "max":
+                value = column.dictionary[int(column.codes.max())]
+            else:
+                raise ExecutionError(
+                    f"aggregate {aggregate.func!r} is not defined for string column "
+                    f"{aggregate.alias}.{aggregate.column}"
+                )
+            result[aggregate.output_name] = np.array([value], dtype=object)
+            continue
+        numeric = np.asarray(column).astype(np.float64)
+        if aggregate.func == "sum":
+            value = float(numeric.sum())
+        elif aggregate.func == "avg":
+            value = float(numeric.mean())
+        elif aggregate.func == "min":
+            value = float(numeric.min())
+        else:
+            value = float(numeric.max())
+        result[aggregate.output_name] = np.array([value])
+    return result
+
+
+def _grouped_values(
+    aggregate: Aggregate,
+    sorted_column: Optional[ColumnData],
+    group_starts: np.ndarray,
+    group_counts: np.ndarray,
+) -> np.ndarray:
+    """One aggregate over every group of the boundary-sorted input."""
+    if aggregate.func == "count":
+        return group_counts.astype(np.int64)
+    if sorted_column is None:
+        raise ExecutionError(f"aggregate {aggregate.func!r} requires a column argument")
+    if isinstance(sorted_column, DictEncodedArray):
+        if aggregate.func == "min":
+            winners = np.minimum.reduceat(sorted_column.codes, group_starts)
+        elif aggregate.func == "max":
+            winners = np.maximum.reduceat(sorted_column.codes, group_starts)
+        else:
+            raise ExecutionError(
+                f"aggregate {aggregate.func!r} is not defined for string columns"
+            )
+        return sorted_column.dictionary[winners]
+    numeric = np.asarray(sorted_column).astype(np.float64)
+    if aggregate.func == "sum":
+        return np.add.reduceat(numeric, group_starts)
+    if aggregate.func == "avg":
+        return np.add.reduceat(numeric, group_starts) / group_counts
+    if aggregate.func == "min":
+        return np.minimum.reduceat(numeric, group_starts)
+    if aggregate.func == "max":
+        return np.maximum.reduceat(numeric, group_starts)
+    raise ExecutionError(f"unsupported aggregate function {aggregate.func!r}")
+
+
+def group_aggregate(
+    relation,
+    group_by: Sequence[ColumnRef],
+    aggregates: Sequence[Aggregate],
+) -> Relation:
+    """Grouped aggregation over a runtime relation (vectorised)."""
+    relation = as_relation(relation)
+    rows = relation.num_rows
+    if not group_by:
+        return _global_aggregate(relation, aggregates)
+
+    key_names = [f"{ref.alias}.{ref.column}" for ref in group_by]
+    key_columns = [relation[name] for name in key_names]
+    if rows == 0:
+        result = Relation(num_rows=0)
+        for name, column in zip(key_names, key_columns):
+            result[name] = take_column(column, np.empty(0, dtype=np.int64))
+        for aggregate in aggregates:
+            if aggregate.func == "count":
+                dtype: type = np.int64
+            else:
+                column = (
+                    relation.get(f"{aggregate.alias}.{aggregate.column}")
+                    if aggregate.column is not None
+                    else None
+                )
+                # Match the non-empty path: string min/max decode to objects.
+                if isinstance(column, DictEncodedArray) and aggregate.func in ("min", "max"):
+                    dtype = object
+                else:
+                    dtype = np.float64
+            result[aggregate.output_name] = np.empty(0, dtype=dtype)
+        return result
+
+    # Group ids via one lexsort over the key columns (codes for encoded ones).
+    try:
+        order = np.lexsort(tuple(reversed([sort_key(column) for column in key_columns])))
+    except TypeError as exc:
+        raise ExecutionError(
+            f"cannot group by column(s) {key_names} containing unorderable values"
+        ) from exc
+    sorted_keys = [take_column(column, order) for column in key_columns]
+    changes = np.zeros(rows, dtype=bool)
+    changes[0] = True
+    for column in sorted_keys:
+        key = sort_key(column)
+        changes[1:] |= key[1:] != key[:-1]
+    group_starts = np.nonzero(changes)[0]
+    group_counts = np.diff(np.concatenate((group_starts, [rows])))
+
+    result = Relation(num_rows=len(group_starts))
+    for name, column in zip(key_names, sorted_keys):
+        result[name] = take_column(column, group_starts)
+    sorted_cache: dict = {}
+    for aggregate in aggregates:
+        sorted_column: Optional[ColumnData] = None
+        if aggregate.column is not None:
+            name = f"{aggregate.alias}.{aggregate.column}"
+            if name not in sorted_cache:
+                sorted_cache[name] = take_column(relation[name], order)
+            sorted_column = sorted_cache[name]
+        result[aggregate.output_name] = _grouped_values(
+            aggregate, sorted_column, group_starts, group_counts
+        )
+    return result

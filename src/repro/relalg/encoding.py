@@ -1,0 +1,229 @@
+"""Dictionary encoding for string columns.
+
+A :class:`DictEncodedArray` stores a string column as ``int32`` codes into a
+*sorted* dictionary of distinct values.  Because the dictionary is sorted,
+code order agrees with value order, so every comparison the engine supports
+(equality, ranges, ``IN``, ``BETWEEN``, sorting for merge joins and grouped
+aggregation) can run directly on the integer codes — string kernels therefore
+execute on ``int32`` arrays instead of NumPy object arrays.
+
+Decoding back to the original values happens only at the edge of the system
+(query output, debugging helpers); everything in :mod:`repro.relalg` operates
+on codes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+#: A runtime column is either a plain NumPy array or a dictionary-encoded one.
+ColumnData = Union[np.ndarray, "DictEncodedArray"]
+
+
+class DictEncodedArray:
+    """A dictionary-encoded column: ``int32`` codes into a sorted dictionary.
+
+    Parameters
+    ----------
+    codes:
+        ``int32`` array of positions into ``dictionary`` (one per row).
+    dictionary:
+        Sorted object array of the distinct values.
+    """
+
+    __slots__ = ("codes", "dictionary")
+
+    def __init__(self, codes: np.ndarray, dictionary: np.ndarray) -> None:
+        self.codes = codes
+        self.dictionary = dictionary
+
+    @classmethod
+    def encode(cls, values: np.ndarray) -> "DictEncodedArray":
+        """Encode an array of values (``np.unique`` sorts the dictionary)."""
+        dictionary, codes = np.unique(np.asarray(values, dtype=object), return_inverse=True)
+        return cls(codes.astype(np.int32, copy=False), dictionary)
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The logical dtype (what :meth:`decode` produces)."""
+        return np.dtype(object)
+
+    def decode(self) -> np.ndarray:
+        """Materialise the original object array."""
+        return self.dictionary[self.codes]
+
+    def take(self, indices: np.ndarray) -> "DictEncodedArray":
+        """Row subset sharing the same dictionary (no re-encoding)."""
+        return DictEncodedArray(self.codes[indices], self.dictionary)
+
+    def code_for(self, value: object) -> Optional[int]:
+        """The code of ``value``, or ``None`` when it is not in the dictionary.
+
+        A value that cannot be compared with the dictionary entries (e.g. an
+        integer literal against a string column) is simply not present.
+        """
+        try:
+            position = int(np.searchsorted(self.dictionary, value))
+        except TypeError:
+            return None
+        if position < len(self.dictionary) and self.dictionary[position] == value:
+            return position
+        return None
+
+    def boundary_code(self, value: object, side: str = "left") -> int:
+        """``np.searchsorted`` position of ``value`` in the sorted dictionary.
+
+        Because codes are order-preserving, ``codes < boundary_code(v)`` is
+        exactly ``values < v`` (``side="left"``) and ``codes <
+        boundary_code(v, "right")`` is ``values <= v``.
+        """
+        return int(np.searchsorted(self.dictionary, value, side=side))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DictEncodedArray(rows={len(self.codes)}, distinct={len(self.dictionary)})"
+
+
+def column_length(column: ColumnData) -> int:
+    """Number of rows in a runtime column of either representation."""
+    return len(column)
+
+
+def take_column(column: ColumnData, indices: np.ndarray) -> ColumnData:
+    """Row subset of a runtime column, preserving its representation."""
+    if isinstance(column, DictEncodedArray):
+        return column.take(indices)
+    return column[indices]
+
+
+def mask_column(column: ColumnData, mask: np.ndarray) -> ColumnData:
+    """Boolean-mask a runtime column, preserving its representation."""
+    if isinstance(column, DictEncodedArray):
+        return DictEncodedArray(column.codes[mask], column.dictionary)
+    return column[mask]
+
+
+def decode_column(column: ColumnData) -> np.ndarray:
+    """Materialise a runtime column as a plain NumPy array."""
+    if isinstance(column, DictEncodedArray):
+        return column.decode()
+    return column
+
+
+def sort_key(column: ColumnData) -> np.ndarray:
+    """An array whose ordering matches the column's value ordering.
+
+    For encoded columns this is the ``int32`` code array (the dictionary is
+    sorted), which sorts an order of magnitude faster than object arrays.
+    """
+    if isinstance(column, DictEncodedArray):
+        return column.codes
+    return column
+
+
+def value_counts(column: ColumnData) -> Tuple[np.ndarray, np.ndarray]:
+    """Distinct values and their occurrence counts (sorted by value).
+
+    Encoded columns answer this from the dictionary with one ``bincount`` over
+    the ``int32`` codes — no object-array ``np.unique`` pass.
+    """
+    if isinstance(column, DictEncodedArray):
+        counts = np.bincount(column.codes, minlength=len(column.dictionary))
+        present = counts > 0
+        return column.dictionary[present], counts[present]
+    try:
+        return np.unique(column, return_counts=True)
+    except TypeError:
+        # Unorderable values (e.g. None among strings) cannot be sorted by
+        # np.unique; count them by hashing instead (order is unspecified).
+        from collections import Counter
+
+        counter = Counter(np.asarray(column).tolist())
+        values = np.empty(len(counter), dtype=object)
+        values[:] = list(counter.keys())
+        return values, np.array(list(counter.values()), dtype=np.int64)
+
+
+def codes_against(sorted_values: np.ndarray, probe: np.ndarray) -> np.ndarray:
+    """Positions of ``probe`` values in ``sorted_values`` (sentinel = miss).
+
+    The shared translation step of the join kernels: values missing from
+    ``sorted_values`` — including values that cannot be *compared* with its
+    entries, such as ``None`` among strings or a numeric probe against a
+    string dictionary — map to the sentinel code ``len(sorted_values)``,
+    which never matches a real code.  Incomparable values degrade to a
+    per-element probe so one bad row never poisons the rest.
+    """
+    sentinel = len(sorted_values)
+    probe = np.asarray(probe)
+    if sentinel == 0:
+        return np.full(len(probe), sentinel, dtype=np.int64)
+    try:
+        positions = np.searchsorted(sorted_values, probe)
+    except TypeError:
+        return _codes_against_elementwise(sorted_values, probe)
+    clipped = np.minimum(positions, sentinel - 1)
+    valid = (positions < sentinel) & (sorted_values[clipped] == probe)
+    return np.where(valid, clipped, sentinel).astype(np.int64)
+
+
+def _codes_against_elementwise(sorted_values: np.ndarray, probe: np.ndarray) -> np.ndarray:
+    sentinel = len(sorted_values)
+    out = np.full(len(probe), sentinel, dtype=np.int64)
+    for index, value in enumerate(np.asarray(probe, dtype=object)):
+        try:
+            position = int(np.searchsorted(sorted_values, value))
+        except TypeError:
+            continue
+        if position < sentinel and sorted_values[position] == value:
+            out[index] = position
+    return out
+
+
+def factorize_pair(
+    left: ColumnData, right: ColumnData
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Map two key columns onto one shared integer code domain.
+
+    Returns ``(left_codes, right_codes, domain_size)`` such that two rows join
+    exactly when their codes are equal.  Values present on only one side are
+    mapped to a sentinel code that never matches the other side.  This is the
+    "factorize" step all three join kernels share.
+    """
+    if isinstance(left, DictEncodedArray) and isinstance(right, DictEncodedArray):
+        if left.dictionary is right.dictionary:
+            return left.codes, right.codes, len(left.dictionary)
+        # Translate right codes into the left dictionary's code space.
+        translation = codes_against(left.dictionary, right.dictionary)
+        return (
+            left.codes.astype(np.int64, copy=False),
+            translation[right.codes],
+            len(left.dictionary) + 1,
+        )
+    if isinstance(left, DictEncodedArray):
+        right_codes = codes_against(left.dictionary, np.asarray(right))
+        return left.codes.astype(np.int64, copy=False), right_codes, len(left.dictionary) + 1
+    if isinstance(right, DictEncodedArray):
+        left_codes = codes_against(right.dictionary, np.asarray(left))
+        return left_codes, right.codes.astype(np.int64, copy=False), len(right.dictionary) + 1
+    # Two plain arrays: factorize over the right side's distinct values.
+    try:
+        right_unique, right_codes = np.unique(right, return_inverse=True)
+    except TypeError:
+        # Unorderable right-side values (e.g. None among strings): factorize
+        # by hashing instead of sorting.
+        mapping: dict = {}
+        right_codes = np.empty(len(right), dtype=np.int64)
+        for index, value in enumerate(np.asarray(right, dtype=object).tolist()):
+            right_codes[index] = mapping.setdefault(value, len(mapping))
+        left_codes = np.array(
+            [mapping.get(value, len(mapping)) for value in np.asarray(left, dtype=object).tolist()],
+            dtype=np.int64,
+        )
+        return left_codes, right_codes, len(mapping) + 1
+    left_codes = codes_against(right_unique, np.asarray(left))
+    return left_codes, right_codes.astype(np.int64, copy=False), len(right_unique) + 1

@@ -1,0 +1,255 @@
+"""Equi-join kernels: hash, sort-merge and block nested-loop.
+
+All three kernels share one *factorization* step
+(:func:`repro.relalg.encoding.factorize_pair`): each join-key pair is mapped
+onto a common integer code domain, and multi-column keys are combined into a
+single composite ``int64`` code (Horner scheme over the per-key domains).
+They then differ in how codes are matched:
+
+* :func:`hash_join` — bucketise the right side by code (``np.bincount`` +
+  one counting sort) and probe buckets with the left codes: the vectorised
+  equivalent of a classic build/probe hash join.
+* :func:`merge_join` — sort the right codes and binary-search the left codes
+  (``np.searchsorted``): the sort-based path, equivalent to the seed kernel.
+* :func:`nested_loop_join` — block-wise outer × inner comparison, O(n·m)
+  work by construction; the reference kernel the property tests compare the
+  other two against, and the cost-model's nested-loop profile.
+
+Dictionary-encoded string keys never leave code space, so string joins run
+entirely on integer arrays.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.relalg.encoding import ColumnData, codes_against, factorize_pair, take_column
+from repro.relalg.relation import Relation, as_relation
+from repro.sql.ast import JoinPredicate
+
+#: Composite keys stop growing once the combined domain would overflow int64;
+#: remaining predicates are applied as residual filters on the matched pairs.
+_MAX_COMPOSITE_DOMAIN = 2**62
+
+#: Element budget for one block of the nested-loop comparison matrix.
+_NESTED_LOOP_BLOCK_ELEMENTS = 4_000_000
+
+
+def _key_columns(
+    left: Relation,
+    right: Relation,
+    predicate: JoinPredicate,
+    left_aliases: FrozenSet[str],
+) -> Tuple[ColumnData, ColumnData]:
+    """The (left, right) key columns of one predicate, oriented by side."""
+    if predicate.left_alias in left_aliases:
+        return (
+            left[f"{predicate.left_alias}.{predicate.left_column}"],
+            right[f"{predicate.right_alias}.{predicate.right_column}"],
+        )
+    return (
+        left[f"{predicate.right_alias}.{predicate.right_column}"],
+        right[f"{predicate.left_alias}.{predicate.left_column}"],
+    )
+
+
+def _composite_codes(
+    left: Relation,
+    right: Relation,
+    predicates: Sequence[JoinPredicate],
+    left_aliases: FrozenSet[str],
+) -> Tuple[np.ndarray, np.ndarray, int, List[JoinPredicate]]:
+    """Factorize the join keys into one shared composite code per side.
+
+    Returns ``(left_codes, right_codes, domain, residual_predicates)`` where
+    ``residual_predicates`` are key pairs that did not fit into the composite
+    domain and must be checked on the matched pairs afterwards.
+    """
+    left_col, right_col = _key_columns(left, right, predicates[0], left_aliases)
+    left_codes, right_codes, domain = factorize_pair(left_col, right_col)
+    left_codes = left_codes.astype(np.int64, copy=False)
+    right_codes = right_codes.astype(np.int64, copy=False)
+    residual: List[JoinPredicate] = []
+    for predicate in predicates[1:]:
+        left_col, right_col = _key_columns(left, right, predicate, left_aliases)
+        codes_l, codes_r, pair_domain = factorize_pair(left_col, right_col)
+        if pair_domain <= 0 or domain * pair_domain >= _MAX_COMPOSITE_DOMAIN:
+            residual.append(predicate)
+            continue
+        left_codes = left_codes * pair_domain + codes_l
+        right_codes = right_codes * pair_domain + codes_r
+        domain *= pair_domain
+    return left_codes, right_codes, domain, residual
+
+
+def _apply_residual(
+    left: Relation,
+    right: Relation,
+    residual: Sequence[JoinPredicate],
+    left_aliases: FrozenSet[str],
+    left_index: np.ndarray,
+    right_index: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Filter matched pairs by equality on the residual key pairs."""
+    for predicate in residual:
+        left_col, right_col = _key_columns(left, right, predicate, left_aliases)
+        codes_l, codes_r, _ = factorize_pair(
+            take_column(left_col, left_index), take_column(right_col, right_index)
+        )
+        keep = codes_l == codes_r
+        left_index = left_index[keep]
+        right_index = right_index[keep]
+    return left_index, right_index
+
+
+def _empty_indices() -> Tuple[np.ndarray, np.ndarray]:
+    return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+
+def _expand_matches(
+    left_rows: int,
+    match_counts: np.ndarray,
+    match_starts: np.ndarray,
+    right_order: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Expand per-left-row match runs into aligned (left, right) index arrays.
+
+    ``match_counts[i]`` right rows match left row ``i``; they sit at
+    ``right_order[match_starts[i] : match_starts[i] + match_counts[i]]``.
+    """
+    total = int(match_counts.sum())
+    left_index = np.repeat(np.arange(left_rows), match_counts)
+    if total == 0:
+        return left_index, np.empty(0, dtype=np.int64)
+    output_offsets = np.concatenate(([0], np.cumsum(match_counts)[:-1]))
+    positions = np.arange(total) - np.repeat(output_offsets, match_counts)
+    right_index = right_order[np.repeat(match_starts, match_counts) + positions]
+    return left_index, right_index
+
+
+def hash_match(
+    left_codes: np.ndarray, right_codes: np.ndarray, domain: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Match codes by bucketising the right side (build) and probing (probe)."""
+    left_rows, right_rows = len(left_codes), len(right_codes)
+    if left_rows == 0 or right_rows == 0:
+        return _empty_indices()
+    if domain > 4 * (left_rows + right_rows):
+        # Composite domains can be huge and sparse: compact the build side's
+        # codes first so the bucket table stays proportional to the data.
+        compact, right_codes = np.unique(right_codes, return_inverse=True)
+        left_codes = codes_against(compact, left_codes)
+        domain = len(compact) + 1
+    bucket_counts = np.bincount(right_codes, minlength=domain)
+    bucket_order = np.argsort(right_codes, kind="stable")
+    bucket_starts = np.concatenate(([0], np.cumsum(bucket_counts)[:-1]))
+    match_counts = bucket_counts[left_codes]
+    return _expand_matches(
+        left_rows, match_counts, bucket_starts[left_codes], bucket_order
+    )
+
+
+def merge_match(
+    left_codes: np.ndarray, right_codes: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Match codes by sorting the right side and binary-searching the left."""
+    left_rows, right_rows = len(left_codes), len(right_codes)
+    if left_rows == 0 or right_rows == 0:
+        return _empty_indices()
+    order = np.argsort(right_codes, kind="stable")
+    sorted_right = right_codes[order]
+    starts = np.searchsorted(sorted_right, left_codes, side="left")
+    ends = np.searchsorted(sorted_right, left_codes, side="right")
+    return _expand_matches(left_rows, ends - starts, starts, order)
+
+
+def nested_loop_match(
+    left_codes: np.ndarray, right_codes: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Match codes by comparing every (left, right) pair, in blocks."""
+    left_rows, right_rows = len(left_codes), len(right_codes)
+    if left_rows == 0 or right_rows == 0:
+        return _empty_indices()
+    block = max(1, _NESTED_LOOP_BLOCK_ELEMENTS // max(1, right_rows))
+    left_parts: List[np.ndarray] = []
+    right_parts: List[np.ndarray] = []
+    for start in range(0, left_rows, block):
+        equal = left_codes[start : start + block, None] == right_codes[None, :]
+        block_left, block_right = np.nonzero(equal)
+        left_parts.append(block_left + start)
+        right_parts.append(block_right)
+    return np.concatenate(left_parts), np.concatenate(right_parts)
+
+
+def _cross_indices(left_rows: int, right_rows: int) -> Tuple[np.ndarray, np.ndarray]:
+    return (
+        np.repeat(np.arange(left_rows), right_rows),
+        np.tile(np.arange(right_rows), left_rows),
+    )
+
+
+def _materialise(
+    left: Relation, right: Relation, left_index: np.ndarray, right_index: np.ndarray
+) -> Relation:
+    result = Relation(num_rows=len(left_index))
+    for name, column in left.items():
+        result[name] = take_column(column, left_index)
+    for name, column in right.items():
+        result[name] = take_column(column, right_index)
+    return result
+
+
+def join_indices(
+    left,
+    right,
+    predicates: Sequence[JoinPredicate],
+    left_aliases: FrozenSet[str],
+    method: str = "hash",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-index pairs the join of ``left`` and ``right`` produces."""
+    left = as_relation(left)
+    right = as_relation(right)
+    if left.num_rows == 0 or right.num_rows == 0:
+        return _empty_indices()
+    if not predicates:
+        return _cross_indices(left.num_rows, right.num_rows)
+    left_codes, right_codes, domain, residual = _composite_codes(
+        left, right, predicates, left_aliases
+    )
+    if method == "hash":
+        left_index, right_index = hash_match(left_codes, right_codes, domain)
+    elif method == "merge":
+        left_index, right_index = merge_match(left_codes, right_codes)
+    elif method == "nested_loop":
+        left_index, right_index = nested_loop_match(left_codes, right_codes)
+    else:
+        raise ValueError(f"unknown join kernel {method!r}")
+    if residual:
+        left_index, right_index = _apply_residual(
+            left, right, residual, left_aliases, left_index, right_index
+        )
+    return left_index, right_index
+
+
+def _join(left, right, predicates, left_aliases, method: str) -> Relation:
+    left = as_relation(left)
+    right = as_relation(right)
+    left_index, right_index = join_indices(left, right, predicates, left_aliases, method)
+    return _materialise(left, right, left_index, right_index)
+
+
+def hash_join(left, right, predicates, left_aliases: FrozenSet[str]) -> Relation:
+    """Hash-based equi-join (factorize → bucketise → probe)."""
+    return _join(left, right, predicates, left_aliases, "hash")
+
+
+def merge_join(left, right, predicates, left_aliases: FrozenSet[str]) -> Relation:
+    """Sort-merge equi-join (factorize → sort → binary search)."""
+    return _join(left, right, predicates, left_aliases, "merge")
+
+
+def nested_loop_join(left, right, predicates, left_aliases: FrozenSet[str]) -> Relation:
+    """Block nested-loop equi-join (reference kernel, O(n·m) comparisons)."""
+    return _join(left, right, predicates, left_aliases, "nested_loop")

@@ -1,0 +1,130 @@
+"""The runtime relation representation shared by all relational kernels.
+
+A :class:`Relation` maps qualified column names (``"alias.column"``) to
+runtime columns — plain NumPy arrays or :class:`~repro.relalg.encoding.
+DictEncodedArray` for dictionary-encoded strings.  It subclasses ``dict`` so
+legacy code (and tests) that treat a relation as a plain mapping keep
+working, but it additionally tracks an explicit row count: with projection
+pushdown a relation can legitimately carry *zero* columns (e.g. the input of
+``COUNT(*)``) while still knowing how many rows it has.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.relalg.encoding import (
+    ColumnData,
+    DictEncodedArray,
+    column_length,
+    decode_column,
+    mask_column,
+    take_column,
+)
+
+
+class Relation(Dict[str, ColumnData]):
+    """A columnar batch of rows: qualified column name → runtime column."""
+
+    __slots__ = ("_num_rows",)
+
+    def __init__(
+        self,
+        columns: Optional[Mapping[str, ColumnData]] = None,
+        num_rows: Optional[int] = None,
+    ) -> None:
+        super().__init__(columns or {})
+        if num_rows is None:
+            num_rows = column_length(next(iter(self.values()))) if len(self) else 0
+        self._num_rows = int(num_rows)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_table(
+        cls, table, alias: str, columns: Optional[Iterable[str]] = None
+    ) -> "Relation":
+        """Build a relation over ``table``'s columns qualified with ``alias``.
+
+        ``columns`` restricts the relation to a subset of the table's columns
+        (projection pushdown); the row count is taken from the table so even
+        an empty projection keeps it.
+        """
+        names = list(columns) if columns is not None else list(table.column_names)
+        data = {f"{alias}.{name}": table.data_column(name) for name in names}
+        return cls(data, num_rows=table.num_rows)
+
+    # ------------------------------------------------------------------ #
+    # Core properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_rows(self) -> int:
+        """Number of rows (tracked explicitly, valid even with no columns)."""
+        return self._num_rows
+
+    def empty_like(self) -> "Relation":
+        """A zero-row relation with the same columns."""
+        empty_indices = np.empty(0, dtype=np.int64)
+        return Relation(
+            {name: take_column(column, empty_indices) for name, column in self.items()},
+            num_rows=0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Row / column operations
+    # ------------------------------------------------------------------ #
+    def take(self, indices: np.ndarray) -> "Relation":
+        """Row subset by integer indices."""
+        return Relation(
+            {name: take_column(column, indices) for name, column in self.items()},
+            num_rows=len(indices),
+        )
+
+    def select(self, mask: np.ndarray) -> "Relation":
+        """Row subset by boolean mask."""
+        return Relation(
+            {name: mask_column(column, mask) for name, column in self.items()},
+            num_rows=int(np.count_nonzero(mask)),
+        )
+
+    def project(self, names: Iterable[str]) -> "Relation":
+        """Column subset (missing names are ignored), same rows."""
+        wanted = set(names)
+        return Relation(
+            {name: column for name, column in self.items() if name in wanted},
+            num_rows=self._num_rows,
+        )
+
+    def decoded(self) -> "Relation":
+        """Materialise every dictionary-encoded column as an object array.
+
+        Called once at the edge of the executor so query output (and tests)
+        see plain NumPy arrays.
+        """
+        return Relation(
+            {name: decode_column(column) for name, column in self.items()},
+            num_rows=self._num_rows,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        encoded = sum(1 for c in self.values() if isinstance(c, DictEncodedArray))
+        return f"Relation(rows={self._num_rows}, columns={len(self)}, encoded={encoded})"
+
+
+def as_relation(columns) -> Relation:
+    """Coerce a plain column mapping (legacy representation) to a Relation."""
+    if isinstance(columns, Relation):
+        return columns
+    return Relation(columns)
+
+
+def relation_num_rows(relation) -> int:
+    """Number of rows of a relation or plain column mapping."""
+    if isinstance(relation, Relation):
+        return relation.num_rows
+    if not relation:
+        return 0
+    return column_length(next(iter(relation.values())))

@@ -25,8 +25,11 @@ import networkx as nx
 
 from repro.errors import ParseError
 
-#: Comparison operators supported by local predicates.
-COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+#: Comparison operators supported by local predicates.  ``"in"`` carries a
+#: sequence of candidate values, ``"between"`` a ``(low, high)`` pair of
+#: inclusive bounds; both are evaluated by the compiled-predicate module
+#: (:mod:`repro.relalg.predicates`).
+COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=", "in", "between")
 
 #: Aggregate functions supported by the aggregation block.
 AGGREGATE_FUNCS = ("count", "sum", "avg", "min", "max")
@@ -74,6 +77,12 @@ class LocalPredicate:
             raise ParseError(f"unsupported comparison operator {self.op!r}")
 
     def __str__(self) -> str:
+        if self.op == "in":
+            rendered = ", ".join(repr(v) for v in self.value)  # type: ignore[union-attr]
+            return f"{self.alias}.{self.column} IN ({rendered})"
+        if self.op == "between":
+            low, high = self.value  # type: ignore[misc]
+            return f"{self.alias}.{self.column} BETWEEN {low!r} AND {high!r}"
         return f"{self.alias}.{self.column} {self.op} {self.value!r}"
 
 

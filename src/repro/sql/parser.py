@@ -9,6 +9,8 @@ The grammar (case-insensitive keywords)::
     table_list := table [AS? alias] (',' table [AS? alias])*
     conjunction:= condition (AND condition)*
     condition  := column op (literal | column)
+                | column IN '(' literal (',' literal)* ')'
+                | column BETWEEN literal AND literal
     column     := [alias '.'] name
     op         := '=' | '<>' | '!=' | '<' | '<=' | '>' | '>='
 
@@ -47,7 +49,7 @@ _TOKEN_PATTERN = re.compile(
     re.VERBOSE,
 )
 
-_KEYWORDS = {"select", "from", "where", "and", "group", "by", "as"}
+_KEYWORDS = {"select", "from", "where", "and", "group", "by", "as", "in", "between"}
 _AGG_FUNCS = {"count", "sum", "avg", "min", "max"}
 
 
@@ -212,29 +214,52 @@ def parse_query(text: str, name: str = "query") -> Query:
             op = stream.next()
             if op == "!=":
                 op = "<>"
-            if op not in ("=", "<>", "<", "<=", ">", ">="):
-                raise ParseError(f"unsupported operator {op!r} in WHERE clause")
-            right_token = stream.peek()
-            if right_token is None:
-                raise ParseError("unexpected end of query in WHERE clause")
-            if _is_identifier(right_token):
-                right_alias, right_column = _parse_column(stream)
-                right_alias = resolve_alias(right_alias, right_column)
-                if op != "=":
-                    raise ParseError("only equality joins between columns are supported")
-                join_predicates.append(
-                    JoinPredicate(
-                        left_alias=left_alias,
-                        left_column=left_column,
-                        right_alias=right_alias,
-                        right_column=right_column,
+            if op.lower() == "in":
+                stream.expect("(")
+                values = []
+                while True:
+                    values.append(_parse_literal(stream.next()))
+                    if not stream.accept(","):
+                        break
+                stream.expect(")")
+                local_predicates.append(
+                    LocalPredicate(
+                        alias=left_alias, column=left_column, op="in", value=tuple(values)
                     )
                 )
-            else:
-                value = _parse_literal(stream.next())
+            elif op.lower() == "between":
+                low = _parse_literal(stream.next())
+                stream.expect("and")
+                high = _parse_literal(stream.next())
                 local_predicates.append(
-                    LocalPredicate(alias=left_alias, column=left_column, op=op, value=value)
+                    LocalPredicate(
+                        alias=left_alias, column=left_column, op="between", value=(low, high)
+                    )
                 )
+            elif op not in ("=", "<>", "<", "<=", ">", ">="):
+                raise ParseError(f"unsupported operator {op!r} in WHERE clause")
+            else:
+                right_token = stream.peek()
+                if right_token is None:
+                    raise ParseError("unexpected end of query in WHERE clause")
+                if _is_identifier(right_token):
+                    right_alias, right_column = _parse_column(stream)
+                    right_alias = resolve_alias(right_alias, right_column)
+                    if op != "=":
+                        raise ParseError("only equality joins between columns are supported")
+                    join_predicates.append(
+                        JoinPredicate(
+                            left_alias=left_alias,
+                            left_column=left_column,
+                            right_alias=right_alias,
+                            right_column=right_column,
+                        )
+                    )
+                else:
+                    value = _parse_literal(stream.next())
+                    local_predicates.append(
+                        LocalPredicate(alias=left_alias, column=left_column, op=op, value=value)
+                    )
             if not stream.accept("and"):
                 break
 

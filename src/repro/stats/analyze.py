@@ -19,6 +19,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from repro.relalg.encoding import ColumnData, take_column, value_counts
 from repro.stats.histogram import EquiDepthHistogram
 from repro.stats.statistics import ColumnStatistics, TableStatistics
 from repro.storage.table import Table
@@ -34,13 +35,18 @@ MCV_SELECTIVITY_THRESHOLD = 1.25
 
 
 def analyze_column(
-    values: np.ndarray,
+    values: ColumnData,
     column_name: str,
     is_numeric: bool,
     mcv_target: int = DEFAULT_MCV_TARGET,
     histogram_buckets: int = DEFAULT_HISTOGRAM_BUCKETS,
 ) -> ColumnStatistics:
-    """Compute :class:`ColumnStatistics` for one column array."""
+    """Compute :class:`ColumnStatistics` for one column.
+
+    Accepts either a plain array or a dictionary-encoded string column; for
+    the latter the distinct-value histogramming runs on the ``int32`` codes
+    (one ``bincount``) instead of an object-array ``np.unique`` pass.
+    """
     num_rows = len(values)
     if num_rows == 0:
         return ColumnStatistics(
@@ -51,7 +57,7 @@ def analyze_column(
             is_numeric=is_numeric,
         )
 
-    unique_values, counts = np.unique(values, return_counts=True)
+    unique_values, counts = value_counts(values)
     n_distinct = len(unique_values)
 
     # Most common values: keep up to ``mcv_target`` values whose frequency is
@@ -121,9 +127,9 @@ def analyze_table(
         row_indices = None
 
     for declaration in table.schema.columns:
-        values = table.column(declaration.name)
+        values = table.data_column(declaration.name)
         if row_indices is not None:
-            values = values[row_indices]
+            values = take_column(values, row_indices)
         column_stats = analyze_column(
             values,
             column_name=declaration.name,

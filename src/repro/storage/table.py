@@ -1,9 +1,14 @@
 """Columnar in-memory tables.
 
-A :class:`Table` stores each column as a NumPy array.  Tables are immutable
-once created (the engine never updates rows in place), which keeps the
-statistics collected by ANALYZE valid for the lifetime of the table and makes
-sample tables cheap, reproducible snapshots.
+A :class:`Table` stores each numeric column as a NumPy array and each ``str``
+column dictionary-encoded (``int32`` codes into a sorted dictionary, see
+:mod:`repro.relalg.encoding`), so string filters, joins and group-bys run on
+integer arrays; values are decoded only when a caller asks for them via
+:meth:`Table.column`.  Tables are immutable once created (the engine never
+updates rows in place), which keeps the statistics collected by ANALYZE valid
+for the lifetime of the table and makes sample tables cheap, reproducible
+snapshots — derived tables (:meth:`Table.take`) share their parent's
+dictionary instead of re-encoding.
 
 The storage model intentionally mirrors what the paper's cost model needs:
 a table exposes a row count and a page count (``ceil(rows / tuples_per_page)``)
@@ -20,6 +25,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.errors import SchemaError
+from repro.relalg.encoding import ColumnData, DictEncodedArray
 
 #: Logical column types supported by the engine.
 SUPPORTED_TYPES = ("int", "float", "str")
@@ -122,7 +128,8 @@ class Table:
         if self.tuples_per_page <= 0:
             raise SchemaError("tuples_per_page must be positive")
 
-        self._data: Dict[str, np.ndarray] = {}
+        self._data: Dict[str, ColumnData] = {}
+        self._decoded: Dict[str, np.ndarray] = {}
         expected = set(schema.column_names)
         provided = set(columns)
         if expected != provided:
@@ -134,17 +141,29 @@ class Table:
 
         length: Optional[int] = None
         for declaration in schema.columns:
-            array = np.asarray(columns[declaration.name])
-            if array.ndim != 1:
-                raise SchemaError(
-                    f"column {declaration.name!r} of table {schema.name!r} must be 1-dimensional"
-                )
-            if declaration.type == "int":
-                array = array.astype(np.int64, copy=False)
-            elif declaration.type == "float":
-                array = array.astype(np.float64, copy=False)
+            raw = columns[declaration.name]
+            array: ColumnData
+            if isinstance(raw, DictEncodedArray) and declaration.type == "str":
+                # Derived tables pass codes through; the dictionary is shared.
+                array = raw
             else:
-                array = array.astype(object, copy=False)
+                values = np.asarray(raw, dtype=object if declaration.type == "str" else None)
+                if values.ndim != 1:
+                    raise SchemaError(
+                        f"column {declaration.name!r} of table {schema.name!r} "
+                        "must be 1-dimensional"
+                    )
+                if declaration.type == "str":
+                    try:
+                        array = DictEncodedArray.encode(values)
+                    except TypeError:
+                        # Mixed / unorderable values (e.g. None among strings)
+                        # cannot be dictionary-sorted; store them unencoded.
+                        array = values
+                elif declaration.type == "int":
+                    array = values.astype(np.int64, copy=False)
+                else:
+                    array = values.astype(np.float64, copy=False)
             if length is None:
                 length = len(array)
             elif len(array) != length:
@@ -179,7 +198,22 @@ class Table:
         return self.schema.column_names
 
     def column(self, name: str) -> np.ndarray:
-        """Return the array backing column ``name``."""
+        """Return column ``name`` as a plain array (strings decoded, cached)."""
+        if name not in self._data:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}")
+        data = self._data[name]
+        if isinstance(data, DictEncodedArray):
+            if name not in self._decoded:
+                self._decoded[name] = data.decode()
+            return self._decoded[name]
+        return data
+
+    def data_column(self, name: str) -> ColumnData:
+        """Return the runtime representation of column ``name``.
+
+        Numeric columns come back as their NumPy arrays; ``str`` columns as
+        the :class:`DictEncodedArray` the relational kernels operate on.
+        """
         if name not in self._data:
             raise SchemaError(f"table {self.name!r} has no column {name!r}")
         return self._data[name]
@@ -199,7 +233,10 @@ class Table:
         """
         row_indices = np.asarray(row_indices)
         new_schema = TableSchema(name or self.schema.name, self.schema.columns)
-        new_columns = {col: self._data[col][row_indices] for col in self._data}
+        new_columns = {
+            col: data.take(row_indices) if isinstance(data, DictEncodedArray) else data[row_indices]
+            for col, data in self._data.items()
+        }
         return Table(new_schema, new_columns, tuples_per_page=self.tuples_per_page)
 
     def filter(self, mask: np.ndarray, name: Optional[str] = None) -> "Table":
@@ -216,13 +253,13 @@ class Table:
         """Return the first ``n`` rows as a list of dicts (for debugging)."""
         n = min(n, self._num_rows)
         return [
-            {col: self._data[col][i] for col in self.column_names}
+            {col: self.column(col)[i] for col in self.column_names}
             for i in range(n)
         ]
 
     def to_columns(self) -> Dict[str, np.ndarray]:
-        """Return a shallow copy of the column mapping."""
-        return dict(self._data)
+        """Return the columns as plain arrays (strings decoded)."""
+        return {name: self.column(name) for name in self.column_names}
 
     def __len__(self) -> int:
         return self._num_rows

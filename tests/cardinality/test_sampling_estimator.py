@@ -89,3 +89,35 @@ class TestValidatePlan:
         assert full_set in validation.cardinalities
         # The query is empty (constants differ), and sampling sees that.
         assert validation.cardinalities[full_set] == 0.0
+
+
+class TestPrefixCache:
+    def test_validate_plan_reuses_sub_joins(self, db):
+        query = make_ott_query(db, [0, 0, 0, 0])
+        plan = Optimizer(db).optimize(query)
+        estimator = SamplingEstimator(db, query)
+        first = estimator.validate_plan(plan)
+        assert first.joins_validated >= 2
+        # Every join set beyond the first extends a cached sub-join.
+        assert first.prefix_cache_hits >= first.joins_validated - 1
+        assert first.sample_join_row_ops > 0
+        # A second round over the same plan does no sample-join work at all.
+        second = estimator.validate_plan(plan)
+        assert second.sample_join_row_ops == 0
+
+    def test_selectivity_and_cardinality_share_join_count(self, db):
+        query = make_ott_query(db, [0, 0, 0, 0])
+        estimator = SamplingEstimator(db, query)
+        estimator.estimate_selectivity({"r1", "r2"})
+        row_ops = estimator.sample_join_row_ops
+        # The cardinality estimate for the same join set reuses the count.
+        estimator.estimate_cardinality({"r1", "r2"})
+        assert estimator.sample_join_row_ops == row_ops
+
+    def test_cached_estimates_are_consistent(self, db):
+        query = make_ott_query(db, [0, 0, 0, 0])
+        cold = SamplingEstimator(db, query)
+        warm = SamplingEstimator(db, query)
+        warm.validate_plan(Optimizer(db).optimize(query))
+        for aliases in ({"r1", "r2"}, {"r1", "r2", "r3"}, {"r1", "r2", "r3", "r4"}):
+            assert cold.estimate_cardinality(aliases) == warm.estimate_cardinality(aliases)

@@ -4,10 +4,10 @@ import numpy as np
 import pytest
 
 from repro.executor.executor import Executor
-from repro.executor.kernels import (
-    apply_predicate_mask,
-    equi_join,
+from repro.relalg import (
+    filter_relation,
     group_aggregate,
+    hash_join,
     relation_num_rows,
 )
 from repro.optimizer.optimizer import Optimizer
@@ -30,34 +30,34 @@ class TestKernels:
             (LocalPredicate("t", "a", ">=", 3), [3, 4, 5]),
         ]
         for predicate, expected in cases:
-            filtered = apply_predicate_mask(relation, "t", [predicate])
+            filtered = filter_relation(relation, "t", [predicate])
             assert list(filtered["t.a"]) == expected
 
     def test_equi_join_matches_reference(self):
         left = {"l.k": np.array([1, 2, 2, 3]), "l.v": np.array([10, 20, 21, 30])}
         right = {"r.k": np.array([2, 2, 3, 4]), "r.w": np.array([200, 201, 300, 400])}
         predicate = JoinPredicate("l", "k", "r", "k")
-        result = equi_join(left, right, [predicate], frozenset({"l"}))
+        result = hash_join(left, right, [predicate], frozenset({"l"}))
         pairs = sorted(zip(result["l.v"].tolist(), result["r.w"].tolist()))
         assert pairs == [(20, 200), (20, 201), (21, 200), (21, 201), (30, 300)]
 
     def test_equi_join_empty_input(self):
         left = {"l.k": np.array([], dtype=np.int64)}
         right = {"r.k": np.array([1, 2])}
-        result = equi_join(left, right, [JoinPredicate("l", "k", "r", "k")], frozenset({"l"}))
+        result = hash_join(left, right, [JoinPredicate("l", "k", "r", "k")], frozenset({"l"}))
         assert relation_num_rows(result) == 0
 
     def test_equi_join_without_predicates_is_cross_product(self):
         left = {"l.a": np.array([1, 2])}
         right = {"r.b": np.array([10, 20, 30])}
-        result = equi_join(left, right, [], frozenset({"l"}))
+        result = hash_join(left, right, [], frozenset({"l"}))
         assert relation_num_rows(result) == 6
 
     def test_equi_join_multiple_predicates(self):
         left = {"l.k1": np.array([1, 1, 2]), "l.k2": np.array([5, 6, 7])}
         right = {"r.k1": np.array([1, 1, 2]), "r.k2": np.array([5, 9, 7])}
         predicates = [JoinPredicate("l", "k1", "r", "k1"), JoinPredicate("l", "k2", "r", "k2")]
-        result = equi_join(left, right, predicates, frozenset({"l"}))
+        result = hash_join(left, right, predicates, frozenset({"l"}))
         assert relation_num_rows(result) == 2
 
     def test_group_aggregate_grouped(self):

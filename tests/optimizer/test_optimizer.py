@@ -5,7 +5,7 @@ import pytest
 from repro.cardinality.gamma import Gamma
 from repro.errors import PlanningError
 from repro.executor.executor import Executor
-from repro.executor.kernels import relation_num_rows
+from repro.relalg import relation_num_rows
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.profiles import OPTIMIZER_PROFILES, profile_settings
 from repro.optimizer.settings import OptimizerSettings

@@ -110,3 +110,46 @@ class TestParseErrors:
         )
         assert parsed.num_joins == 1
         assert len(parsed.local_predicates) == 2
+
+
+class TestInAndBetween:
+    def test_in_predicate(self):
+        query = parse_query("SELECT count(*) FROM t WHERE t.a IN (1, 2, 3)")
+        predicate = query.local_predicates[0]
+        assert predicate.op == "in"
+        assert predicate.value == (1, 2, 3)
+
+    def test_in_predicate_strings(self):
+        query = parse_query("SELECT count(*) FROM t WHERE t.s IN ('x', 'y')")
+        assert query.local_predicates[0].value == ("x", "y")
+
+    def test_between_predicate(self):
+        query = parse_query("SELECT count(*) FROM t WHERE t.a BETWEEN 2 AND 8")
+        predicate = query.local_predicates[0]
+        assert predicate.op == "between"
+        assert predicate.value == (2, 8)
+
+    def test_between_followed_by_conjunction(self):
+        query = parse_query(
+            "SELECT count(*) FROM t WHERE t.a BETWEEN 2 AND 8 AND t.b = 1"
+        )
+        assert len(query.local_predicates) == 2
+        assert query.local_predicates[0].op == "between"
+        assert query.local_predicates[1].op == "="
+
+    def test_in_mixed_with_join(self):
+        query = parse_query(
+            "SELECT count(*) FROM r, s WHERE r.k = s.k AND r.a IN (1, 2)"
+        )
+        assert query.num_joins == 1
+        assert query.local_predicates[0].op == "in"
+
+    @pytest.mark.parametrize("text", [
+        "SELECT * FROM t WHERE t.a IN ()",
+        "SELECT * FROM t WHERE t.a IN 1",
+        "SELECT * FROM t WHERE t.a BETWEEN 1",
+        "SELECT * FROM t WHERE t.a BETWEEN AND 2",
+    ])
+    def test_malformed_in_between_raise(self, text):
+        with pytest.raises(ParseError):
+            parse_query(text)
