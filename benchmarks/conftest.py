@@ -4,11 +4,34 @@ Every benchmark runs its experiment driver exactly once (``rounds=1``), prints
 the regenerated table (visible with ``pytest -s``) and applies light sanity
 assertions on the *shape* of the result (who wins, roughly by how much), which
 is the level at which the reproduction is expected to match the paper.
+
+Each run also dumps the table as ``BENCH_<experiment>.json`` next to the
+working directory so CI can upload the regenerated figures as artifacts.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import pathlib
+
 import pytest
+
+
+def _dump_result(result) -> None:
+    """Write one experiment result as a BENCH_*.json artifact."""
+    directory = pathlib.Path(os.environ.get("BENCH_OUTPUT_DIR", "."))
+    payload = {
+        "experiment": result.experiment,
+        "description": result.description,
+        "columns": result.columns,
+        "rows": result.rows,
+    }
+    path = directory / f"BENCH_{result.experiment}.json"
+    try:
+        path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    except OSError:  # pragma: no cover - read-only working directories
+        pass
 
 
 def run_once(benchmark, driver, *args, **kwargs):
@@ -16,4 +39,5 @@ def run_once(benchmark, driver, *args, **kwargs):
     result = benchmark.pedantic(lambda: driver(*args, **kwargs), rounds=1, iterations=1)
     print()
     print(result.to_text())
+    _dump_result(result)
     return result

@@ -8,7 +8,11 @@ from repro.bench.experiments import figure5_8_tpch_num_plans
 def test_bench_figure5_num_plans(benchmark):
     result = run_once(benchmark, figure5_8_tpch_num_plans, zipf_z=0.0)
     assert len(result.rows) == 21
-    # The paper reports fewer than 10 rounds for every query, most needing 1-2
-    # distinct plans (the count includes the final confirming invocation).
+    # The paper reports fewer than 10 plans for every query.  Queries whose
+    # first validation adds nothing to Γ — join-free templates (q1, q6), or
+    # templates whose selective filters leave no sample support at this toy
+    # scale (q17) — finish in a single round under the coverage rule, with
+    # the same final plan the confirming invocation used to re-produce.
     for row in result.rows:
-        assert 2 <= row["plans_without_calibration"] < 10
+        assert 1 <= row["plans_without_calibration"] < 10
+    assert any(row["plans_without_calibration"] >= 2 for row in result.rows)

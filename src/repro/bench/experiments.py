@@ -15,6 +15,7 @@ comparable to 5% of a 10 GB database.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -29,7 +30,9 @@ from repro.bench.harness import (
 from repro.bench.reporting import ExperimentResult
 from repro.optimizer.profiles import profile_settings
 from repro.optimizer.settings import OptimizerSettings
-from repro.reopt.algorithm import ReoptimizationSettings
+from repro.plans.join_tree import plans_identical
+from repro.reopt.algorithm import ReoptimizationSettings, Reoptimizer
+from repro.reopt.driver import DriverSettings, WorkloadDriver
 from repro.stats.multidim import MultiDimHistogram, true_ott_pair_selectivity
 from repro.theory.ball_queue import expected_steps
 from repro.theory.special_cases import (
@@ -95,6 +98,7 @@ def _tpch_records(
     seed: int = 1,
     execute_intermediate_plans: bool = False,
     query_numbers: Optional[Sequence[int]] = None,
+    concurrency: int = 1,
 ) -> Dict[str, List[QueryRunRecord]]:
     db = generate_tpch_database(
         scale_factor=scale_factor, zipf_z=zipf_z, seed=seed, sampling_ratio=sampling_ratio
@@ -112,6 +116,7 @@ def _tpch_records(
         queries,
         optimizer_settings=settings,
         execute_intermediate_plans=execute_intermediate_plans,
+        concurrency=concurrency,
     )
     return aggregate_by_template(records)
 
@@ -227,6 +232,7 @@ def _ott_records(
     sampling_ratio: float = OTT_SAMPLING_RATIO,
     seed: int = 7,
     execute_intermediate_plans: bool = False,
+    concurrency: int = 1,
 ) -> List[QueryRunRecord]:
     db = generate_ott_database(
         num_tables=num_tables,
@@ -246,6 +252,7 @@ def _ott_records(
         queries,
         optimizer_settings=settings,
         execute_intermediate_plans=execute_intermediate_plans,
+        concurrency=concurrency,
     )
 
 
@@ -377,13 +384,14 @@ def _tpcds_records(
     scale: float = TPCDS_SCALE,
     sampling_ratio: float = TPCDS_SAMPLING_RATIO,
     seed: int = 2,
+    concurrency: int = 1,
 ) -> List[QueryRunRecord]:
     db = generate_tpcds_database(scale=scale, seed=seed, sampling_ratio=sampling_ratio)
     settings = OptimizerSettings()
     if calibrated:
         settings = calibrated_settings(db, settings)
     queries = make_tpcds_workload(db, seed=seed)
-    return run_query_suite(db, queries, optimizer_settings=settings)
+    return run_query_suite(db, queries, optimizer_settings=settings, concurrency=concurrency)
 
 
 def figure19_tpcds_running_time(calibrated: bool = False, **kwargs) -> ExperimentResult:
@@ -491,4 +499,115 @@ def appendix_b_bounds(num_queries: int = 10, num_tables: int = 5, **kwargs) -> E
             overestimation_bound_m_plus_1=over_bound,
             underestimation_S_N_over_M=under_bound,
         )
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Incremental re-optimization engine (beyond the paper's figures)
+# --------------------------------------------------------------------------- #
+def incremental_planning(
+    joins: int = 4,
+    num_queries: int = 6,
+    rows_per_table: int = OTT_ROWS_PER_TABLE,
+    sampling_ratio: float = OTT_SAMPLING_RATIO,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Per-round DP work of the incremental planner on the OTT workload.
+
+    Round 1 must expand every mask (``2^K - 1`` for K relations); rounds 2+
+    only the Γ-dirtied ones — the planning-time saving Section 3.3's overhead
+    argument relies on.
+    """
+    records = _ott_records(
+        num_tables=joins + 1,
+        num_queries=num_queries,
+        rows_per_value=OTT_4JOIN_ROWS_PER_VALUE,
+        rows_per_table=rows_per_table,
+        sampling_ratio=sampling_ratio,
+        seed=seed,
+    )
+    result = ExperimentResult(
+        experiment="incremental_planning",
+        description="DP masks expanded per re-optimization round (round 1 = full search)",
+        columns=[
+            "query", "rounds", "round1_masks", "max_later_masks",
+            "total_later_masks", "round1_planning_s", "later_planning_s",
+        ],
+    )
+    for record in records:
+        masks = [m for m in record.dp_masks_expanded_per_round if m is not None]
+        if not masks:
+            continue
+        later = masks[1:]
+        planning = record.planning_seconds_per_round
+        result.add_row(
+            query=record.query_name,
+            rounds=record.plans_generated,
+            round1_masks=masks[0],
+            max_later_masks=max(later) if later else 0,
+            total_later_masks=sum(later),
+            round1_planning_s=planning[0] if planning else 0.0,
+            later_planning_s=sum(planning[1:]),
+        )
+    return result
+
+
+def batched_driver(
+    joins: int = 4,
+    num_queries: int = 8,
+    max_workers: int = 4,
+    rows_per_table: int = OTT_ROWS_PER_TABLE,
+    sampling_ratio: float = OTT_SAMPLING_RATIO,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Serial vs concurrent batched re-optimization of one OTT workload.
+
+    Checks the driver's contract — identical final plans — and reports the
+    wall-clock saving plus how often the batch-level caches fired.
+    """
+    db = generate_ott_database(
+        num_tables=joins + 1,
+        rows_per_table=rows_per_table,
+        rows_per_value=OTT_4JOIN_ROWS_PER_VALUE,
+        seed=seed,
+        sampling_ratio=sampling_ratio,
+    )
+    queries = make_ott_workload(
+        db, num_tables=joins + 1, num_queries=num_queries, num_matching=joins, seed=seed
+    )
+
+    serial_started = time.perf_counter()
+    reoptimizer = Reoptimizer(db)
+    serial_results = [reoptimizer.reoptimize(query) for query in queries]
+    serial_seconds = time.perf_counter() - serial_started
+
+    driver = WorkloadDriver(db, settings=DriverSettings(max_workers=max_workers))
+    batched_started = time.perf_counter()
+    batched_results = driver.run(queries)
+    batched_seconds = time.perf_counter() - batched_started
+
+    plans_match = all(
+        plans_identical(serial.final_plan, batched.final_plan)
+        for serial, batched in zip(serial_results, batched_results)
+    )
+    result = ExperimentResult(
+        experiment="batched_driver",
+        description=f"Serial vs {max_workers}-worker batched re-optimization ({num_queries} OTT queries)",
+        columns=[
+            "mode", "queries", "wall_s", "plans_match",
+            "plan_cache_hits", "gamma_warm_starts",
+        ],
+    )
+    result.add_row(
+        mode="serial", queries=len(queries), wall_s=serial_seconds, plans_match=True,
+        plan_cache_hits=0, gamma_warm_starts=0,
+    )
+    result.add_row(
+        mode=f"driver x{max_workers}",
+        queries=len(queries),
+        wall_s=batched_seconds,
+        plans_match=plans_match,
+        plan_cache_hits=driver.stats.plan_cache_hits,
+        gamma_warm_starts=driver.stats.gamma_warm_starts,
+    )
     return result

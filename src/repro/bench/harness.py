@@ -20,7 +20,7 @@ configuration by fitting the five cost units against the executor
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.cost.calibration import calibrate_cost_units
@@ -28,6 +28,7 @@ from repro.executor.executor import Executor
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.settings import OptimizerSettings
 from repro.reopt.algorithm import ReoptimizationSettings, Reoptimizer
+from repro.reopt.driver import DriverSettings, WorkloadDriver
 from repro.sql.ast import Query
 from repro.storage.catalog import Database
 
@@ -49,6 +50,11 @@ class QueryRunRecord:
     #: Simulated cost of the plan produced in each re-optimization round
     #: (index 0 = original plan) — the data behind Figures 14/15.
     per_round_simulated_cost: List[float] = field(default_factory=list)
+    #: Wall-clock seconds spent inside the optimizer per round; with the
+    #: incremental planner, round 2+ entries shrink towards zero.
+    planning_seconds_per_round: List[float] = field(default_factory=list)
+    #: DP masks (re-)expanded per round (None entries for GEQO rounds).
+    dp_masks_expanded_per_round: List[Optional[int]] = field(default_factory=list)
 
     @property
     def total_with_reoptimization(self) -> float:
@@ -68,17 +74,37 @@ def run_query_suite(
     reopt_settings: Optional[ReoptimizationSettings] = None,
     execute_intermediate_plans: bool = False,
     execute_plans: bool = True,
+    concurrency: int = 1,
+    driver_settings: Optional[DriverSettings] = None,
 ) -> List[QueryRunRecord]:
-    """Run the full pipeline for every query and collect per-query records."""
+    """Run the full pipeline for every query and collect per-query records.
+
+    With ``concurrency > 1`` (or explicit ``driver_settings``) the
+    re-optimization phase runs in batched mode through the concurrent
+    :class:`~repro.reopt.driver.WorkloadDriver`; plan execution stays serial
+    so wall-clock execution times remain comparable between modes.
+    """
     optimizer = Optimizer(db, settings=optimizer_settings)
-    reoptimizer = Reoptimizer(db, optimizer=optimizer, settings=reopt_settings)
     executor = Executor(
         db,
         cost_units=optimizer.settings.cost_units,
     )
+    if concurrency > 1 or driver_settings is not None:
+        settings = driver_settings if driver_settings is not None else DriverSettings()
+        if concurrency > 1 and settings.max_workers != concurrency:
+            settings = replace(settings, max_workers=concurrency)
+        driver = WorkloadDriver(
+            db,
+            optimizer_settings=optimizer_settings,
+            reopt_settings=reopt_settings,
+            settings=settings,
+        )
+        results = driver.run(queries)
+    else:
+        reoptimizer = Reoptimizer(db, optimizer=optimizer, settings=reopt_settings)
+        results = [reoptimizer.reoptimize(query) for query in queries]
     records: List[QueryRunRecord] = []
-    for query in queries:
-        result = reoptimizer.reoptimize(query)
+    for query, result in zip(queries, results):
         if execute_plans:
             original_execution = executor.execute_plan(result.original_plan, query)
             if result.plan_changed:
@@ -121,6 +147,10 @@ def run_query_suite(
                 sampling_seconds=result.report.total_sampling_seconds,
                 converged=result.converged,
                 per_round_simulated_cost=per_round_costs,
+                planning_seconds_per_round=[
+                    record.planning_seconds for record in result.report.rounds
+                ],
+                dp_masks_expanded_per_round=result.report.dp_masks_per_round(),
             )
         )
     return records

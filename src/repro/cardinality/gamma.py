@@ -9,6 +9,13 @@ cardinalities after their local selections.
 Γ only ever grows during re-optimization (``Γ ← Γ ∪ Δ_i``); when the same
 join set is re-validated the newer estimate wins, which is what "merging"
 means operationally.
+
+Γ is also *versioned*: every mutation that actually changes a stored value
+bumps a monotone epoch counter and remembers the epoch at which each join set
+last changed.  ``changed_since(epoch)`` returns the dirty join sets, which is
+what lets the incremental DP planner re-expand only the affected subsets of
+the search space instead of re-running the whole System-R enumeration every
+re-optimization round.
 """
 
 from __future__ import annotations
@@ -25,6 +32,35 @@ class Gamma:
     """Validated cardinalities keyed by join set."""
 
     _cardinalities: Dict[JoinSet, float] = field(default_factory=dict)
+    #: Monotone version counter; bumped whenever a stored value changes.
+    _epoch: int = 0
+    #: Epoch at which each join set last changed (added or re-valued).
+    _changed_at: Dict[JoinSet, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Versioning
+    # ------------------------------------------------------------------ #
+    @property
+    def epoch(self) -> int:
+        """Current version; strictly increases whenever an entry changes."""
+        return self._epoch
+
+    def changed_since(self, epoch: int) -> FrozenSet[JoinSet]:
+        """Join sets whose value changed after ``epoch`` (the dirty set).
+
+        A re-validation that stored the same float does not dirty the entry,
+        so a fixed-point round reports an empty dirty set and the incremental
+        planner re-expands nothing.
+        """
+        return frozenset(
+            key for key, changed in self._changed_at.items() if changed > epoch
+        )
+
+    def _store(self, key: JoinSet, value: float) -> None:
+        if self._cardinalities.get(key) != value:
+            self._epoch += 1
+            self._changed_at[key] = self._epoch
+        self._cardinalities[key] = value
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -34,7 +70,7 @@ class Gamma:
         key = frozenset(relations)
         if not key:
             raise ValueError("cannot record a cardinality for an empty join set")
-        self._cardinalities[key] = float(cardinality)
+        self._store(key, float(cardinality))
 
     def merge(self, delta: Mapping[JoinSet, float] | "Gamma") -> int:
         """Merge ``delta`` into Γ; return how many entries were new.
@@ -51,7 +87,7 @@ class Gamma:
             key = frozenset(key)
             if key not in self._cardinalities:
                 newly_added += 1
-            self._cardinalities[key] = float(value)
+            self._store(key, float(value))
         return newly_added
 
     # ------------------------------------------------------------------ #
@@ -78,6 +114,8 @@ class Gamma:
         """Return an independent copy (used by what-if experiments)."""
         clone = Gamma()
         clone._cardinalities = dict(self._cardinalities)
+        clone._epoch = self._epoch
+        clone._changed_at = dict(self._changed_at)
         return clone
 
     def covered_join_sets(self) -> FrozenSet[JoinSet]:

@@ -64,6 +64,10 @@ class SamplingValidation:
     elapsed_seconds: float = 0.0
     #: Number of distinct join sets evaluated over samples.
     joins_validated: int = 0
+    #: Join sets skipped because some member's filtered sample was empty
+    #: while its selection is estimated non-empty: the Haas estimator has no
+    #: support there and would "validate" a spurious zero.
+    joins_skipped_no_support: int = 0
     #: Sample sub-joins answered from the join-prefix cache in this round.
     prefix_cache_hits: int = 0
     #: Row operations (input + output rows of each executed sample join) this
@@ -227,6 +231,17 @@ class SamplingEstimator:
             remaining.discard(next_alias)
         return ordered
 
+    def has_sample_support(self, aliases: Iterable[str]) -> bool:
+        """True when every member's filtered sample contains at least one row.
+
+        A join-set estimate built on an empty factor sample is degenerate —
+        the observed count is 0 whatever the true join size, so scaling it up
+        still yields 0 with unbounded relative error.  Validation skips such
+        join sets (see :meth:`validate_plan`): a lucky-zero sample of a
+        non-empty selection must not poison Γ with false empty joins.
+        """
+        return all(self._filtered_sample(alias).num_rows > 0 for alias in aliases)
+
     def _sample_join_count(self, aliases: FrozenSet[str]) -> int:
         """Number of rows the join of ``aliases`` produces over the samples."""
         if aliases in self._count_cache:
@@ -298,6 +313,15 @@ class SamplingEstimator:
         # sub-join already in the prefix cache.
         for join_set in sorted(join_sets, key=len):
             if join_set in validation.cardinalities:
+                continue
+            if not self.has_sample_support(join_set):
+                # No sample support for some member: the estimate would be a
+                # spurious zero (see has_sample_support).  Leave the join set
+                # unvalidated; the optimizer keeps its histogram estimate.
+                # This applies to singletons too — an empty filtered sample
+                # of a non-empty selection must not validate the base
+                # relation to zero rows.
+                validation.joins_skipped_no_support += 1
                 continue
             validation.cardinalities[join_set] = self.estimate_cardinality(join_set)
             validation.joins_validated += 1

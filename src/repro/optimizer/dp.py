@@ -7,14 +7,29 @@ sub-plans connected by at least one join predicate, and every enabled
 physical join method.  Bushy trees are explored by default; restricting the
 inner side to single relations yields the classic left-deep search.
 
-The number of *distinct join trees* (global transformations, in the paper's
-terminology) examined is tracked in :attr:`DynamicProgrammingPlanner.num_join_trees_considered`
-— that is the ``N`` of the theoretical analysis in Section 3.3.
+The number of *distinct logical join trees* (unordered splits connected by a
+join predicate) examined is tracked in
+:attr:`DynamicProgrammingPlanner.num_join_trees_considered` — that is the
+``N`` of the theoretical analysis in Section 3.3.  Commuted splits
+``(outer, inner)`` / ``(inner, outer)`` describe the same logical join, and
+disconnected splits are cartesian-product fallbacks the search discards, so
+neither inflates the count.
+
+Incremental re-planning (re-optimization support)
+-------------------------------------------------
+The ``best[mask]`` memo table survives between rounds: :meth:`replan` takes
+the set of join sets whose validated cardinality in Γ changed since the last
+round and re-expands only the subsets that contain a dirty join set.  A mask
+whose every subset kept its cardinality estimate would re-derive exactly the
+same cheapest plan, so skipping it is lossless — the re-planned result is
+bit-identical to a from-scratch search with the same Γ, while touching only a
+small fraction of the ``2^K`` masks (the paper's Section 3.3 argument that
+re-optimization rounds are cheap, made literal).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.cardinality.estimator import CardinalityEstimator
 from repro.cost.model import CostModel
@@ -27,7 +42,12 @@ from repro.storage.catalog import Database
 
 
 class DynamicProgrammingPlanner:
-    """Exhaustive DP search over join orders for one query."""
+    """Exhaustive DP search over join orders for one query.
+
+    The planner is reusable across re-optimization rounds: ``plan_joins``
+    performs the full bottom-up enumeration, ``replan`` re-expands only the
+    masks dirtied by new validated cardinalities.
+    """
 
     def __init__(
         self,
@@ -46,8 +66,15 @@ class DynamicProgrammingPlanner:
         self._alias_bit: Dict[str, int] = {alias: 1 << i for i, alias in enumerate(self.aliases)}
         #: Number of (subset, split, method) join alternatives examined.
         self.num_alternatives_considered = 0
-        #: Number of distinct logical join trees (join orders) examined.
+        #: Number of distinct logical join trees (connected unordered splits)
+        #: examined — the paper's ``N``.
         self.num_join_trees_considered = 0
+        #: Masks (scans included) expanded by the most recent
+        #: ``plan_joins``/``replan`` call; the incremental-planning metric.
+        self.last_masks_expanded = 0
+        self._best: Dict[int, PlanNode] = {}
+        self._edges: List[Tuple[int, int]] = []
+        self._masks_by_size: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------------ #
     # Helpers
@@ -122,6 +149,55 @@ class DynamicProgrammingPlanner:
             predicates=predicates,
         )
 
+    def _expand_scan(self, alias: str) -> None:
+        """(Re)compute the best access path for one base relation."""
+        self._best[self._alias_bit[alias]] = best_scan(
+            self.db, self.query, alias, self.estimator, self.cost_model, self.settings
+        )
+        self.last_masks_expanded += 1
+
+    def _expand_mask(self, mask: int) -> None:
+        """(Re)compute ``best[mask]`` from the current best sub-plans."""
+        candidates: List[PlanNode] = []
+        connected_candidates: List[PlanNode] = []
+        output_rows = self.estimator.joinset_cardinality(self._mask_aliases(mask))
+        counted_splits: set = set()
+        # Enumerate every ordered split (outer, inner) of the subset.
+        submask = (mask - 1) & mask
+        while submask:
+            left_mask = submask
+            right_mask = mask ^ submask
+            left_plan = self._best.get(left_mask)
+            right_plan = self._best.get(right_mask)
+            submask = (submask - 1) & mask
+            if left_plan is None or right_plan is None:
+                continue
+            if not self.settings.allow_bushy and bin(right_mask).count("1") != 1:
+                continue
+            connected = self._has_cross_edge(left_mask, right_mask)
+            if connected:
+                # (outer, inner) and (inner, outer) are the same logical join
+                # tree; disconnected splits are cartesian fallbacks the search
+                # discards — neither counts towards the paper's N.
+                split_key = (min(left_mask, right_mask), max(left_mask, right_mask))
+                if split_key not in counted_splits:
+                    counted_splits.add(split_key)
+                    self.num_join_trees_considered += 1
+            for method in sorted(self.settings.enabled_join_methods, key=lambda m: m.value):
+                self.num_alternatives_considered += 1
+                join = self._build_join(left_plan, right_plan, method, output_rows)
+                if join is None:
+                    continue
+                candidates.append(join)
+                if connected:
+                    connected_candidates.append(join)
+        # Prefer splits connected by join predicates; fall back to
+        # cartesian products only when the subset is not connected.
+        pool = connected_candidates or candidates
+        if pool:
+            self._best[mask] = min(pool, key=lambda node: node.estimated_cost)
+        self.last_masks_expanded += 1
+
     # ------------------------------------------------------------------ #
     # Search
     # ------------------------------------------------------------------ #
@@ -130,56 +206,75 @@ class DynamicProgrammingPlanner:
         if not self.aliases:
             raise PlanningError(f"query {self.query.name!r} references no tables")
         self._edges = self._edge_masks()
+        self._best = {}
+        self.last_masks_expanded = 0
 
-        best: Dict[int, PlanNode] = {}
         for alias in self.aliases:
-            best[self._alias_bit[alias]] = best_scan(
-                self.db, self.query, alias, self.estimator, self.cost_model, self.settings
-            )
+            self._expand_scan(alias)
         if len(self.aliases) == 1:
-            return best[self._alias_bit[self.aliases[0]]]
+            return self._best[self._alias_bit[self.aliases[0]]]
 
         full_mask = (1 << len(self.aliases)) - 1
-        masks_by_size: Dict[int, List[int]] = {}
+        self._masks_by_size = {}
         for mask in range(1, full_mask + 1):
-            masks_by_size.setdefault(bin(mask).count("1"), []).append(mask)
+            self._masks_by_size.setdefault(bin(mask).count("1"), []).append(mask)
 
         for size in range(2, len(self.aliases) + 1):
-            for mask in masks_by_size.get(size, []):
-                candidates: List[PlanNode] = []
-                connected_candidates: List[PlanNode] = []
-                output_rows = self.estimator.joinset_cardinality(self._mask_aliases(mask))
-                # Enumerate every ordered split (outer, inner) of the subset.
-                submask = (mask - 1) & mask
-                while submask:
-                    left_mask = submask
-                    right_mask = mask ^ submask
-                    left_plan = best.get(left_mask)
-                    right_plan = best.get(right_mask)
-                    submask = (submask - 1) & mask
-                    if left_plan is None or right_plan is None:
-                        continue
-                    if not self.settings.allow_bushy and bin(right_mask).count("1") != 1:
-                        continue
-                    connected = self._has_cross_edge(left_mask, right_mask)
-                    self.num_join_trees_considered += 1
-                    for method in sorted(self.settings.enabled_join_methods, key=lambda m: m.value):
-                        self.num_alternatives_considered += 1
-                        join = self._build_join(left_plan, right_plan, method, output_rows)
-                        if join is None:
-                            continue
-                        candidates.append(join)
-                        if connected:
-                            connected_candidates.append(join)
-                # Prefer splits connected by join predicates; fall back to
-                # cartesian products only when the subset is not connected.
-                pool = connected_candidates or candidates
-                if pool:
-                    best[mask] = min(pool, key=lambda node: node.estimated_cost)
+            for mask in self._masks_by_size.get(size, []):
+                self._expand_mask(mask)
 
-        if full_mask not in best:
+        if full_mask not in self._best:
             raise PlanningError(
                 f"could not build a plan for query {self.query.name!r}; "
                 "the join graph may be disconnected and cartesian products disabled"
             )
-        return best[full_mask]
+        return self._best[full_mask]
+
+    def replan(
+        self,
+        estimator: CardinalityEstimator,
+        changed_join_sets: Iterable[FrozenSet[str]],
+    ) -> PlanNode:
+        """Incrementally re-plan after Γ changed on ``changed_join_sets``.
+
+        Only masks containing a dirty join set can see a different
+        cardinality estimate anywhere in their sub-plans, so only those are
+        re-expanded (bottom-up, smallest first, so re-expanded masks combine
+        already-updated sub-plans).  Everything else keeps its memoized best
+        plan, making the result identical to a from-scratch search under the
+        new Γ.
+        """
+        if not self._best:
+            self.estimator = estimator
+            return self.plan_joins()
+        self.estimator = estimator
+        self.last_masks_expanded = 0
+
+        seeds: List[int] = []
+        for join_set in changed_join_sets:
+            if not join_set:
+                continue
+            if not all(alias in self._alias_bit for alias in join_set):
+                continue  # Γ entry about relations outside this query
+            mask = 0
+            for alias in join_set:
+                mask |= self._alias_bit[alias]
+            seeds.append(mask)
+
+        full_mask = (1 << len(self.aliases)) - 1
+        if seeds:
+            for alias in self.aliases:
+                bit = self._alias_bit[alias]
+                if any(seed == bit for seed in seeds):
+                    self._expand_scan(alias)
+            for size in range(2, len(self.aliases) + 1):
+                for mask in self._masks_by_size.get(size, []):
+                    if any(seed & ~mask == 0 for seed in seeds):
+                        self._expand_mask(mask)
+
+        if full_mask not in self._best:
+            raise PlanningError(
+                f"could not build a plan for query {self.query.name!r}; "
+                "the join graph may be disconnected and cartesian products disabled"
+            )
+        return self._best[full_mask]

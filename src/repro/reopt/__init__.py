@@ -1,4 +1,5 @@
-"""The sampling-based query re-optimization loop (Algorithm 1) and its reports."""
+"""The sampling-based query re-optimization loop (Algorithm 1), its reports,
+and the concurrent workload driver."""
 
 from __future__ import annotations
 
@@ -8,13 +9,25 @@ from repro.reopt.algorithm import (
     Reoptimizer,
     reoptimize,
 )
+from repro.reopt.driver import (
+    DriverSettings,
+    DriverStats,
+    WorkloadDriver,
+    plan_fingerprint,
+    statistics_fingerprint,
+)
 from repro.reopt.report import ReoptimizationReport, RoundRecord
 
 __all__ = [
+    "DriverSettings",
+    "DriverStats",
     "ReoptimizationReport",
     "ReoptimizationResult",
     "ReoptimizationSettings",
     "Reoptimizer",
     "RoundRecord",
+    "WorkloadDriver",
+    "plan_fingerprint",
     "reoptimize",
+    "statistics_fingerprint",
 ]

@@ -1,12 +1,24 @@
 """Algorithm 1 — sampling-based query re-optimization.
 
-The loop is exactly the paper's:
+The loop is the paper's:
 
-1. ``Γ ← ∅``;
+1. ``Γ ← ∅`` (or a caller-provided warm Γ, see the workload driver);
 2. ask the (unmodified) optimizer for a plan given Γ;
-3. if the plan is the same as the previous round's plan, stop;
+3. if the plan is identical to the plan of *any* earlier round, stop — a
+   re-surfaced plan is already fully validated, so Γ cannot grow and the
+   loop would only oscillate between covered plans;
 4. otherwise run the plan's joins over the sample tables, producing the
-   validated cardinalities Δ, merge ``Γ ← Γ ∪ Δ`` and go to 2.
+   validated cardinalities Δ, and merge ``Γ ← Γ ∪ Δ``;
+5. if the merge added **zero new entries**, stop — the plan is covered by
+   the earlier plans (the coverage argument behind Theorem 1: an unchanged
+   Γ makes the deterministic optimizer re-produce this very plan, so it is
+   the fixed point);
+6. go to 2.
+
+Each round plans through one :class:`~repro.optimizer.optimizer.PlanningSession`,
+so the System-R DP memo survives between rounds and round ``i+1`` re-expands
+only the masks dirtied by Δ_i — the incremental planning that keeps the
+paper's re-optimization overhead argument (Section 3.3) true in practice.
 
 The only policy knobs beyond the paper's algorithm are practical safeguards
 the paper itself discusses in Section 5.4: an optional bound on the number of
@@ -101,23 +113,40 @@ class Reoptimizer:
     # ------------------------------------------------------------------ #
     # The loop
     # ------------------------------------------------------------------ #
-    def reoptimize(self, query: Query) -> ReoptimizationResult:
-        """Run Algorithm 1 on ``query`` and return the full result."""
+    def reoptimize(self, query: Query, gamma: Optional[Gamma] = None) -> ReoptimizationResult:
+        """Run Algorithm 1 on ``query`` and return the full result.
+
+        Termination (besides the round/time budgets) happens when either
+
+        * the new plan is identical to the plan of **any** earlier round —
+          not just the immediately preceding one, which would loop forever
+          on an A→B→A oscillation re-validating already-covered plans — or
+        * validating the new plan added **zero new entries** to Γ: the plan
+          is covered (Theorem 1), Γ stops growing, and the deterministic
+          optimizer would re-produce the same plan next round.
+
+        ``gamma`` may carry pre-validated cardinalities (the workload driver
+        shares Γ between identically-fingerprinted queries); it is mutated in
+        place, exactly as Algorithm 1 writes ``Γ ← Γ ∪ Δ``.
+        """
         if self.db.samples is None:
             self.db.create_samples(
                 ratio=self.settings.sampling_ratio, seed=self.settings.sampling_seed
             )
         sampler = SamplingEstimator(self.db, query)
+        session = self.optimizer.planning_session(query)
 
-        gamma = Gamma()
+        gamma = gamma if gamma is not None else Gamma()
         report = ReoptimizationReport(query_name=query.name)
         started = time.perf_counter()
-        previous_plan: Optional[PlanNode] = None
         converged = False
         sampling_spent = 0.0
 
         for round_number in range(1, self.settings.max_rounds + 1):
-            plan = self.optimizer.optimize(query, gamma)
+            planning_started = time.perf_counter()
+            plan = session.optimize(gamma)
+            planning_seconds = time.perf_counter() - planning_started
+            previous_plan = report.rounds[-1].plan if report.rounds else None
             transformation = (
                 classify_transformation(previous_plan, plan) if previous_plan is not None else None
             )
@@ -127,10 +156,12 @@ class Reoptimizer:
                 estimated_cost=plan.estimated_cost,
                 estimated_rows=plan.estimated_rows,
                 transformation=transformation,
+                planning_seconds=planning_seconds,
+                dp_masks_expanded=session.last_masks_expanded,
             )
             report.rounds.append(record)
 
-            if previous_plan is not None and plans_identical(plan, previous_plan):
+            if any(plans_identical(plan, earlier.plan) for earlier in report.rounds[:-1]):
                 converged = True
                 break
 
@@ -140,7 +171,12 @@ class Reoptimizer:
             record.sampling_seconds = validation.elapsed_seconds
             sampling_spent += validation.elapsed_seconds
             record.new_gamma_entries = gamma.merge(validation.cardinalities)
-            previous_plan = plan
+
+            if record.new_gamma_entries == 0:
+                # Coverage (Theorem 1): Γ did not grow, so the optimizer's
+                # next answer would be this very plan — it is the fixed point.
+                converged = True
+                break
 
             if (
                 self.settings.sampling_time_budget is not None

@@ -35,6 +35,11 @@ class RoundRecord:
     sampling_seconds: float = 0.0
     #: Number of join sets whose validation added new entries to Γ.
     new_gamma_entries: int = 0
+    #: Seconds the optimizer spent producing this round's plan.
+    planning_seconds: float = 0.0
+    #: DP masks the planner (re-)expanded this round (None on the GEQO path).
+    #: Round 1 expands every mask; incremental rounds only the Γ-dirtied ones.
+    dp_masks_expanded: Optional[int] = None
 
 
 @dataclass
@@ -51,9 +56,12 @@ class ReoptimizationReport:
     def num_plans_generated(self) -> int:
         """Number of optimizer invocations — the metric of Figures 5/8/16/20.
 
-        The final invocation that simply re-produces the previous plan is
-        counted, matching the paper's "number of plans generated during
-        re-optimization" which is at least 2 whenever re-optimization ran.
+        A final invocation that re-produces an earlier plan is counted,
+        matching the paper's "number of plans generated during
+        re-optimization".  A loop cut short by the coverage test (a
+        validation that added no new Γ entries) never makes that redundant
+        final invocation, so a single round is possible (e.g. join-free
+        queries).
         """
         return len(self.rounds)
 
@@ -67,6 +75,15 @@ class ReoptimizationReport:
     def total_sampling_seconds(self) -> float:
         """Total wall-clock seconds spent running plans over samples."""
         return sum(record.sampling_seconds for record in self.rounds)
+
+    @property
+    def total_planning_seconds(self) -> float:
+        """Total wall-clock seconds spent inside the optimizer."""
+        return sum(record.planning_seconds for record in self.rounds)
+
+    def dp_masks_per_round(self) -> List[Optional[int]]:
+        """DP masks expanded per round (None entries for GEQO rounds)."""
+        return [record.dp_masks_expanded for record in self.rounds]
 
     @property
     def transformation_chain(self) -> List[TransformationKind]:

@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.errors import CatalogError, StatisticsError
 from repro.storage.index import HashIndex, SortedIndex
-from repro.storage.sampling import DEFAULT_SAMPLING_RATIO, SampleSet
+from repro.storage.sampling import DEFAULT_MIN_SAMPLE_ROWS, DEFAULT_SAMPLING_RATIO, SampleSet
 from repro.storage.table import Column, Table, TableSchema
 
 
@@ -147,9 +147,12 @@ class Database:
         ratio: float = DEFAULT_SAMPLING_RATIO,
         seed: Optional[int] = None,
         method: str = "bernoulli",
+        min_rows: int = DEFAULT_MIN_SAMPLE_ROWS,
     ) -> SampleSet:
         """Create sample tables for every base table and remember them."""
-        self.samples = SampleSet.build(self._tables, ratio=ratio, seed=seed, method=method)
+        self.samples = SampleSet.build(
+            self._tables, ratio=ratio, seed=seed, method=method, min_rows=min_rows
+        )
         return self.samples
 
     # ------------------------------------------------------------------ #

@@ -19,6 +19,7 @@ Sampling is seeded so that experiments are reproducible.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Optional
 
@@ -35,6 +36,19 @@ DEFAULT_SAMPLING_RATIO = 0.05
 #: would contain 0-2 rows and make the Haas estimator wildly noisy; sampling
 #: such tables in full costs nothing and keeps the estimator exact for them.
 DEFAULT_MIN_SAMPLE_ROWS = 100
+
+
+def table_seed(seed: int, table_name: str) -> int:
+    """Derive a per-table sampling seed from ``(seed, table_name)``.
+
+    The derivation must depend only on the table's *name*, never on its
+    position among the sampled tables: a positional scheme (``seed + offset``
+    over the sorted names) silently reshuffles every other table's sample the
+    moment a table is added or dropped, breaking reproducibility of
+    experiments that grow the schema.
+    """
+    payload = f"{seed}:{table_name}".encode("utf-8")
+    return int.from_bytes(hashlib.blake2s(payload, digest_size=8).digest(), "big")
 
 
 def sample_table(
@@ -95,6 +109,7 @@ class SampleSet:
     ratio: float
     samples: Dict[str, Table] = field(default_factory=dict)
     base_row_counts: Dict[str, int] = field(default_factory=dict)
+    min_rows: int = DEFAULT_MIN_SAMPLE_ROWS
 
     @classmethod
     def build(
@@ -105,12 +120,16 @@ class SampleSet:
         method: str = "bernoulli",
         min_rows: int = DEFAULT_MIN_SAMPLE_ROWS,
     ) -> "SampleSet":
-        """Sample every table in ``tables`` with a shared ratio and seed."""
-        sample_set = cls(ratio=ratio)
-        for offset, (name, table) in enumerate(sorted(tables.items())):
-            table_seed = None if seed is None else seed + offset
+        """Sample every table in ``tables`` with a shared ratio and seed.
+
+        Each table's generator is seeded from ``(seed, table_name)``, so a
+        table's sample is stable under additions/removals of other tables.
+        """
+        sample_set = cls(ratio=ratio, min_rows=min_rows)
+        for name, table in sorted(tables.items()):
+            per_table_seed = None if seed is None else table_seed(seed, name)
             sample_set.samples[name] = sample_table(
-                table, ratio, table_seed, method, min_rows=min_rows
+                table, ratio, per_table_seed, method, min_rows=min_rows
             )
             sample_set.base_row_counts[name] = table.num_rows
         return sample_set
@@ -130,15 +149,21 @@ class SampleSet:
     def scale_factor(self, table_name: str) -> float:
         """Return ``|R| / |Rs|`` for the given table.
 
-        An empty sample falls back to ``1 / ratio`` so that the estimator can
-        still scale counts (this only happens for pathologically tiny tables).
+        An empty sample falls back to ``1 / effective_ratio``, where the
+        effective ratio accounts for the ``min_rows`` floor: a table whose
+        target sample size was raised to ``min_rows`` is effectively sampled
+        at ``min_rows / |R|``, not at ``ratio`` — using the raw ``1 / ratio``
+        there would overscale counts by up to ``min_rows / (ratio * |R|)``.
         """
         base_rows = self.base_row_counts.get(table_name)
         if base_rows is None:
             raise SamplingError(f"no sample available for table {table_name!r}")
         sample_rows = self.samples[table_name].num_rows
         if sample_rows == 0:
-            return 1.0 / self.ratio
+            if base_rows <= 0:
+                return 1.0
+            expected_rows = max(self.ratio * base_rows, float(min(self.min_rows, base_rows)))
+            return base_rows / expected_rows
         return base_rows / sample_rows
 
     def table_names(self) -> Iterable[str]:

@@ -48,6 +48,41 @@ class TestGamma:
         assert {"b"} not in gamma
         assert {"b"} in clone
 
+    def test_epoch_increases_on_change_only(self):
+        gamma = Gamma()
+        assert gamma.epoch == 0
+        gamma.record({"a"}, 1.0)
+        first_epoch = gamma.epoch
+        assert first_epoch > 0
+        # Re-recording the same value is not a change.
+        gamma.record({"a"}, 1.0)
+        assert gamma.epoch == first_epoch
+        gamma.record({"a"}, 2.0)
+        assert gamma.epoch > first_epoch
+
+    def test_changed_since_tracks_dirty_join_sets(self):
+        gamma = Gamma()
+        gamma.record({"a"}, 1.0)
+        checkpoint = gamma.epoch
+        assert gamma.changed_since(checkpoint) == frozenset()
+        gamma.merge({frozenset({"a", "b"}): 5.0, frozenset({"a"}): 1.0})
+        # Only the genuinely-changed join set is dirty; the re-validated
+        # identical value is not.
+        assert gamma.changed_since(checkpoint) == frozenset({frozenset({"a", "b"})})
+        assert gamma.changed_since(0) == frozenset(
+            {frozenset({"a"}), frozenset({"a", "b"})}
+        )
+
+    def test_copy_preserves_versioning(self):
+        gamma = Gamma()
+        gamma.record({"a"}, 1.0)
+        checkpoint = gamma.epoch
+        clone = gamma.copy()
+        assert clone.epoch == checkpoint
+        clone.record({"b"}, 2.0)
+        assert clone.changed_since(checkpoint) == frozenset({frozenset({"b"})})
+        assert gamma.changed_since(checkpoint) == frozenset()
+
     def test_iteration_and_covered_sets(self):
         gamma = Gamma()
         gamma.record({"a"}, 1.0)

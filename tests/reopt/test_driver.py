@@ -1,0 +1,147 @@
+"""Tests for the concurrent workload driver."""
+
+import pytest
+
+from repro.plans.join_tree import plans_identical
+from repro.reopt.algorithm import Reoptimizer
+from repro.reopt.driver import (
+    DriverSettings,
+    WorkloadDriver,
+    plan_fingerprint,
+    statistics_fingerprint,
+)
+from repro.sql.builder import QueryBuilder
+from repro.workloads.ott import generate_ott_database, make_ott_query, make_ott_workload
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_ott_database(
+        num_tables=5, rows_per_table=2500, rows_per_value=40, seed=13, sampling_ratio=0.2
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(db):
+    return make_ott_workload(db, num_tables=5, num_queries=8, seed=5)
+
+
+class TestFingerprints:
+    def test_name_is_not_part_of_the_fingerprint(self, db):
+        first = make_ott_query(db, [0, 0, 1, 0, 0], name="first")
+        second = make_ott_query(db, [0, 0, 1, 0, 0], name="second")
+        assert plan_fingerprint(first) == plan_fingerprint(second)
+        assert statistics_fingerprint(first) == statistics_fingerprint(second)
+
+    def test_local_predicates_distinguish_fingerprints(self, db):
+        first = make_ott_query(db, [0, 0, 1, 0, 0])
+        second = make_ott_query(db, [0, 1, 1, 0, 0])
+        assert statistics_fingerprint(first) != statistics_fingerprint(second)
+
+    def test_aggregates_only_affect_plan_fingerprint(self, db):
+        base = (
+            QueryBuilder("a").table("r1").table("r2").join("r1", "b", "r2", "b")
+        ).build()
+        aggregated = (
+            QueryBuilder("b").table("r1").table("r2").join("r1", "b", "r2", "b")
+            .aggregate("count", output_name="c")
+        ).build()
+        assert statistics_fingerprint(base) == statistics_fingerprint(aggregated)
+        assert plan_fingerprint(base) != plan_fingerprint(aggregated)
+
+
+class TestDriverEquivalence:
+    def test_concurrent_plans_identical_to_serial(self, db, workload):
+        reoptimizer = Reoptimizer(db)
+        serial = [reoptimizer.reoptimize(query) for query in workload]
+        driver = WorkloadDriver(db, settings=DriverSettings(max_workers=4))
+        batched = driver.run(workload)
+        assert len(batched) == len(serial)
+        fingerprints = [statistics_fingerprint(query) for query in workload]
+        for index, (serial_result, batched_result) in enumerate(zip(serial, batched)):
+            # The driver's contract: the *final* plan is always the serial
+            # fixed point.
+            assert plans_identical(serial_result.final_plan, batched_result.final_plan)
+            # Original (round 1) plans match too, except for duplicates that
+            # warm-started from a shared Γ and so skipped the uninformed
+            # first rounds.
+            if fingerprints.count(fingerprints[index]) == 1:
+                assert plans_identical(
+                    serial_result.original_plan, batched_result.original_plan
+                )
+
+    def test_single_worker_path(self, db, workload):
+        driver = WorkloadDriver(db, settings=DriverSettings(max_workers=1))
+        results = driver.run(workload[:2])
+        reoptimizer = Reoptimizer(db)
+        for query, result in zip(workload[:2], results):
+            assert plans_identical(
+                result.final_plan, reoptimizer.reoptimize(query).final_plan
+            )
+
+    def test_empty_batch(self, db):
+        assert WorkloadDriver(db).run([]) == []
+
+
+class TestBatchOptimizations:
+    def test_plan_cache_hits_for_duplicate_queries(self, db):
+        queries = [
+            make_ott_query(db, [0, 0, 0, 0, 1], name=f"dup_{i}") for i in range(4)
+        ]
+        driver = WorkloadDriver(db, settings=DriverSettings(max_workers=2))
+        results = driver.run(queries)
+        assert driver.stats.plan_cache_hits >= 1
+        assert driver.stats.queries_reoptimized + driver.stats.plan_cache_hits == 4
+        for result in results[1:]:
+            assert plans_identical(result.final_plan, results[0].final_plan)
+        # The cached duplicates report zero overhead and carry their own query.
+        names = {result.query.name for result in results}
+        assert names == {f"dup_{i}" for i in range(4)}
+
+    def test_plan_cache_persists_across_batches(self, db):
+        query = make_ott_query(db, [1, 0, 0, 0, 0])
+        driver = WorkloadDriver(db, settings=DriverSettings(max_workers=1))
+        first = driver.run([query])[0]
+        second = driver.run([query])[0]
+        assert driver.stats.plan_cache_hits == 1
+        assert plans_identical(first.final_plan, second.final_plan)
+        assert second.reoptimization_seconds == 0.0
+
+    def test_gamma_warm_start_preserves_final_plan(self, db):
+        """Same statistics fingerprint, different output block: Γ is shared,
+        the warm-started query converges immediately to the same join plan."""
+        bare = QueryBuilder("bare")
+        for index in range(1, 4):
+            bare.table(f"r{index}").filter(f"r{index}", "a", "=", 0)
+        bare.join("r1", "b", "r2", "b").join("r2", "b", "r3", "b")
+        bare_query = bare.build()
+
+        counted = QueryBuilder("counted")
+        for index in range(1, 4):
+            counted.table(f"r{index}").filter(f"r{index}", "a", "=", 0)
+        counted.join("r1", "b", "r2", "b").join("r2", "b", "r3", "b")
+        counted_query = counted.aggregate("count", output_name="c").build()
+
+        driver = WorkloadDriver(db, settings=DriverSettings(max_workers=1))
+        warm_results = driver.run([bare_query, counted_query])
+        assert driver.stats.plan_cache_hits == 0  # different plan fingerprints
+        assert driver.stats.gamma_warm_starts == 1
+
+        cold = Reoptimizer(db).reoptimize(counted_query)
+        warm = warm_results[1]
+        assert plans_identical(warm.final_plan, cold.final_plan)
+        assert warm.rounds <= cold.rounds
+
+    def test_gamma_sharing_disabled(self, db):
+        queries = [
+            make_ott_query(db, [0, 0, 0, 1, 0], name="x"),
+            make_ott_query(db, [0, 0, 0, 1, 0], name="y"),
+        ]
+        driver = WorkloadDriver(
+            db,
+            settings=DriverSettings(max_workers=1, use_plan_cache=False, share_gamma=False),
+        )
+        results = driver.run(queries)
+        assert driver.stats.plan_cache_hits == 0
+        assert driver.stats.gamma_warm_starts == 0
+        assert plans_identical(results[0].final_plan, results[1].final_plan)

@@ -66,6 +66,41 @@ class TestSampleTable:
 
 
 class TestSampleSet:
+    def test_seed_stable_when_tables_added(self):
+        """Adding a table must not reshuffle the other tables' samples.
+
+        Seeds are derived from ``(seed, table_name)``; the old positional
+        ``seed + offset`` scheme shifted every seed after an insertion.
+        """
+        tables = {"alpha": make_table(5000), "gamma": make_table(5000)}
+        before = SampleSet.build(tables, ratio=0.1, seed=7, min_rows=10)
+        # "beta" sorts between the existing names, shifting their offsets.
+        tables["beta"] = make_table(5000)
+        after = SampleSet.build(tables, ratio=0.1, seed=7, min_rows=10)
+        for name in ("alpha", "gamma"):
+            assert (
+                before.sample_for(name).column("a").tolist()
+                == after.sample_for(name).column("a").tolist()
+            )
+
+    def test_scale_factor_fallback_uses_min_rows_aware_ratio(self):
+        """The empty-sample fallback must honour the min-rows floor.
+
+        With ratio=0.001 and min_rows=100 on a 10k-row table, the sampler
+        would have drawn 100 rows (effective ratio 1%), so the fallback
+        scale is 100x — the raw ``1 / ratio`` (1000x) overscales tenfold.
+        """
+        sample_set = SampleSet(ratio=0.001, min_rows=100)
+        sample_set.samples["t"] = make_table(0)
+        sample_set.base_row_counts["t"] = 10_000
+        assert sample_set.scale_factor("t") == pytest.approx(100.0)
+
+    def test_scale_factor_fallback_empty_base_table(self):
+        sample_set = SampleSet(ratio=0.5, min_rows=100)
+        sample_set.samples["t"] = make_table(0)
+        sample_set.base_row_counts["t"] = 0
+        assert sample_set.scale_factor("t") == 1.0
+
     def test_build_and_scale_factor(self):
         tables = {"big": make_table(10_000), "small": make_table(40)}
         sample_set = SampleSet.build(tables, ratio=0.1, seed=5, min_rows=50)
