@@ -38,6 +38,13 @@ AGG_GROUPS = 10_000
 #: floor while still recording the measured ratio).
 MIN_SPEEDUP = float(os.environ.get("RELALG_BENCH_MIN_SPEEDUP", "2.0"))
 
+#: Workers for the morsel-runtime benchmark and the required
+#: parallel-over-serial wall-clock speedup at that worker count.  The gate
+#: only applies on machines with enough cores to possibly meet it (the
+#: bit-identity assertions apply everywhere); CI runs this with 4 workers.
+PARALLEL_WORKERS = int(os.environ.get("RELALG_BENCH_WORKERS", "4"))
+PARALLEL_MIN_SPEEDUP = float(os.environ.get("RELALG_PARALLEL_MIN_SPEEDUP", "1.5"))
+
 
 def _best_seconds(fn: Callable[[], object], repeats: int = 3) -> float:
     best = float("inf")
@@ -202,6 +209,37 @@ def test_grouped_aggregation_speedup():
     assert speedup >= MIN_SPEEDUP, (
         f"grouped aggregation only {speedup:.2f}x faster than the seed kernel"
     )
+
+
+def test_parallel_runtime_speedup_and_bit_identity(benchmark):
+    """The morsel runtime's 4-join star pipeline: parallel must be bit-identical
+    to serial everywhere, and ≥1.5× faster at 4 workers where the hardware
+    can deliver it (the gate is skipped on boxes with fewer cores than
+    workers; the BENCH_parallel_runtime.json artifact records the measured
+    ratio either way)."""
+    from conftest import run_once
+
+    from repro.bench.experiments import parallel_runtime
+
+    result = run_once(benchmark, parallel_runtime, workers=PARALLEL_WORKERS)
+    assert all(row["bit_identical"] for row in result.rows), (
+        "parallel runtime output diverged from serial"
+    )
+    total = next(row for row in result.rows if row["stage"] == "total")
+    assert total["max_queue_depth"] >= PARALLEL_WORKERS, (
+        "scheduler never saw enough concurrent morsel tasks to use the pool"
+    )
+    cores = os.cpu_count() or 1
+    if cores >= PARALLEL_WORKERS:
+        assert total["speedup"] >= PARALLEL_MIN_SPEEDUP, (
+            f"parallel runtime only {total['speedup']:.2f}x faster than serial "
+            f"at {PARALLEL_WORKERS} workers on {cores} cores"
+        )
+    else:
+        print(
+            f"\n(speedup gate skipped: {cores} cores < {PARALLEL_WORKERS} workers; "
+            f"measured {total['speedup']:.2f}x)"
+        )
 
 
 def test_validate_plan_row_ops_below_seed():

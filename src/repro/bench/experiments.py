@@ -29,6 +29,14 @@ from repro.bench.harness import (
 )
 from repro.bench.reporting import ExperimentResult
 from repro.optimizer.profiles import profile_settings
+from repro.relalg import (
+    DictEncodedArray,
+    Relation,
+    TaskScheduler,
+    group_aggregate,
+    parallel_hash_join,
+)
+from repro.sql.ast import Aggregate, ColumnRef, JoinPredicate
 from repro.optimizer.settings import OptimizerSettings
 from repro.plans.join_tree import plans_identical
 from repro.reopt.algorithm import ReoptimizationSettings, Reoptimizer
@@ -552,6 +560,155 @@ def incremental_planning(
     return result
 
 
+def _relations_equal(left: Relation, right: Relation) -> bool:
+    """Byte-level equality of two relations (columns, rows, dtypes, order)."""
+    if set(left) != set(right) or left.num_rows != right.num_rows:
+        return False
+    for name in left:
+        a, b = left[name], right[name]
+        if isinstance(a, DictEncodedArray) or isinstance(b, DictEncodedArray):
+            if not (isinstance(a, DictEncodedArray) and isinstance(b, DictEncodedArray)):
+                return False
+            if not np.array_equal(a.codes, b.codes):
+                return False
+            if not np.array_equal(a.dictionary, b.dictionary):
+                return False
+            continue
+        a, b = np.asarray(a), np.asarray(b)
+        if a.dtype != b.dtype or not np.array_equal(a, b):
+            return False
+    return True
+
+
+def parallel_runtime(
+    fact_rows: int = 400_000,
+    dim_rows: int = 150_000,
+    num_joins: int = 4,
+    groups: int = 5_000,
+    workers: int = 4,
+    repeats: int = 3,
+    seed: int = 11,
+) -> ExperimentResult:
+    """Serial vs morsel-parallel runtime on a star-schema 4-join pipeline.
+
+    The workload is the ISSUE's 4-join hash-join benchmark: one fact relation
+    joined N:1 against four dimension relations (every probe hits exactly one
+    build row, so intermediate sizes stay put), followed by a grouped
+    aggregation over the joined result.  Both modes run the same
+    :mod:`repro.relalg` kernels; the parallel mode dispatches onto a
+    ``workers``-sized :class:`TaskScheduler`.  Besides the timings, every row
+    records ``bit_identical`` — the parallel output must equal the serial
+    output byte for byte.
+    """
+    rng = np.random.default_rng(seed)
+    fact_columns = {
+        f"f.k{i}": rng.integers(0, dim_rows, size=fact_rows) for i in range(num_joins)
+    }
+    fact_columns["f.v"] = rng.uniform(0.0, 100.0, size=fact_rows)
+    fact_columns["f.g"] = rng.integers(0, groups, size=fact_rows)
+    fact = Relation(fact_columns)
+    dims = []
+    for i in range(num_joins):
+        keys = rng.permutation(dim_rows)
+        dims.append(
+            Relation(
+                {
+                    f"d{i}.k": keys,
+                    f"d{i}.payload": rng.integers(0, 1000, size=dim_rows),
+                }
+            )
+        )
+    aggregates = [
+        Aggregate("sum", "f", "v", "total"),
+        Aggregate("avg", "f", "v", "mean"),
+        Aggregate("count", None, None, "n"),
+    ]
+
+    def run_joins(scheduler: Optional[TaskScheduler]) -> Relation:
+        current = fact
+        left_aliases = frozenset({"f"})
+        for i, dim in enumerate(dims):
+            predicates = [JoinPredicate("f", f"k{i}", f"d{i}", "k")]
+            current = parallel_hash_join(
+                current, dim, predicates, left_aliases, scheduler=scheduler
+            )
+            left_aliases = left_aliases | {f"d{i}"}
+        return current
+
+    def run_aggregate(joined: Relation, scheduler: Optional[TaskScheduler]) -> Relation:
+        return group_aggregate(
+            joined, [ColumnRef("f", "g")], aggregates, scheduler=scheduler
+        )
+
+    def best_seconds(fn) -> float:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            started = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    scheduler = TaskScheduler(workers=workers, name="bench")
+    serial_joined = run_joins(None)
+    parallel_joined = run_joins(scheduler)
+    joins_identical = _relations_equal(serial_joined, parallel_joined)
+    serial_grouped = run_aggregate(serial_joined, None)
+    parallel_grouped = run_aggregate(serial_joined, scheduler)
+    agg_identical = _relations_equal(serial_grouped, parallel_grouped)
+
+    join_serial_s = best_seconds(lambda: run_joins(None))
+    join_parallel_s = best_seconds(lambda: run_joins(scheduler))
+    agg_serial_s = best_seconds(lambda: run_aggregate(serial_joined, None))
+    agg_parallel_s = best_seconds(lambda: run_aggregate(serial_joined, scheduler))
+    scheduler_stats = scheduler.stats()
+    scheduler.shutdown()
+
+    result = ExperimentResult(
+        experiment="parallel_runtime",
+        description=(
+            f"Serial vs {workers}-worker morsel runtime "
+            f"({num_joins}-join star pipeline, {fact_rows} fact rows)"
+        ),
+        columns=[
+            "stage", "workers", "serial_s", "parallel_s", "speedup",
+            "bit_identical", "rows_out", "max_queue_depth",
+        ],
+    )
+    result.add_row(
+        stage=f"{num_joins}join_hash",
+        workers=workers,
+        serial_s=join_serial_s,
+        parallel_s=join_parallel_s,
+        speedup=join_serial_s / max(join_parallel_s, 1e-12),
+        bit_identical=joins_identical,
+        rows_out=serial_joined.num_rows,
+        max_queue_depth=scheduler_stats.max_queue_depth,
+    )
+    result.add_row(
+        stage="group_aggregate",
+        workers=workers,
+        serial_s=agg_serial_s,
+        parallel_s=agg_parallel_s,
+        speedup=agg_serial_s / max(agg_parallel_s, 1e-12),
+        bit_identical=agg_identical,
+        rows_out=serial_grouped.num_rows,
+        max_queue_depth=scheduler_stats.max_queue_depth,
+    )
+    total_serial = join_serial_s + agg_serial_s
+    total_parallel = join_parallel_s + agg_parallel_s
+    result.add_row(
+        stage="total",
+        workers=workers,
+        serial_s=total_serial,
+        parallel_s=total_parallel,
+        speedup=total_serial / max(total_parallel, 1e-12),
+        bit_identical=joins_identical and agg_identical,
+        rows_out=serial_joined.num_rows,
+        max_queue_depth=scheduler_stats.max_queue_depth,
+    )
+    return result
+
+
 def batched_driver(
     joins: int = 4,
     num_queries: int = 8,
@@ -610,4 +767,5 @@ def batched_driver(
         plan_cache_hits=driver.stats.plan_cache_hits,
         gamma_warm_starts=driver.stats.gamma_warm_starts,
     )
+    driver.shutdown()
     return result

@@ -27,6 +27,7 @@ from repro.cost.calibration import calibrate_cost_units
 from repro.executor.executor import Executor
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.settings import OptimizerSettings
+from repro.relalg import DEFAULT_MORSEL_ROWS, TaskScheduler
 from repro.reopt.algorithm import ReoptimizationSettings, Reoptimizer
 from repro.reopt.driver import DriverSettings, WorkloadDriver
 from repro.sql.ast import Query
@@ -76,18 +77,28 @@ def run_query_suite(
     execute_plans: bool = True,
     concurrency: int = 1,
     driver_settings: Optional[DriverSettings] = None,
+    workers: int = 1,
+    morsel_rows: int = DEFAULT_MORSEL_ROWS,
 ) -> List[QueryRunRecord]:
     """Run the full pipeline for every query and collect per-query records.
 
     With ``concurrency > 1`` (or explicit ``driver_settings``) the
     re-optimization phase runs in batched mode through the concurrent
-    :class:`~repro.reopt.driver.WorkloadDriver`; plan execution stays serial
-    so wall-clock execution times remain comparable between modes.
+    :class:`~repro.reopt.driver.WorkloadDriver`.
+
+    ``workers > 1`` attaches one shared morsel scheduler to the *whole*
+    pipeline — plan execution, sampling validation and the driver all
+    dispatch morsel tasks into the same ``workers``-sized pool.  Results are
+    bit-identical to ``workers=1``; only wall-clock changes.
     """
     optimizer = Optimizer(db, settings=optimizer_settings)
+    scheduler = TaskScheduler(workers=workers, name="suite") if workers > 1 else None
     executor = Executor(
         db,
         cost_units=optimizer.settings.cost_units,
+        scheduler=scheduler,
+        morsel_rows=morsel_rows,
+        nested_loop_block_elements=optimizer.settings.nested_loop_block_elements,
     )
     if concurrency > 1 or driver_settings is not None:
         settings = driver_settings if driver_settings is not None else DriverSettings()
@@ -98,10 +109,16 @@ def run_query_suite(
             optimizer_settings=optimizer_settings,
             reopt_settings=reopt_settings,
             settings=settings,
+            scheduler=scheduler,
         )
         results = driver.run(queries)
+        if scheduler is None:
+            # The driver created (and therefore owns) its scheduler.
+            driver.shutdown()
     else:
-        reoptimizer = Reoptimizer(db, optimizer=optimizer, settings=reopt_settings)
+        reoptimizer = Reoptimizer(
+            db, optimizer=optimizer, settings=reopt_settings, scheduler=scheduler
+        )
         results = [reoptimizer.reoptimize(query) for query in queries]
     records: List[QueryRunRecord] = []
     for query, result in zip(queries, results):
@@ -153,6 +170,8 @@ def run_query_suite(
                 dp_masks_expanded_per_round=result.report.dp_masks_per_round(),
             )
         )
+    if scheduler is not None:
+        scheduler.shutdown()
     return records
 
 
@@ -160,15 +179,18 @@ def calibrated_settings(
     db: Database,
     base_settings: Optional[OptimizerSettings] = None,
     calibration_queries: Optional[Sequence[Query]] = None,
+    scheduler: Optional[TaskScheduler] = None,
 ) -> OptimizerSettings:
     """Return optimizer settings whose cost units were calibrated on ``db``.
 
     This is the paper's "with calibration" configuration: the five cost units
     are replaced by values fitted so that estimated costs are commensurate
-    with observed execution effort on this machine.
+    with observed execution effort on this machine.  Pass the deployment's
+    shared morsel ``scheduler`` to calibrate against the parallel runtime's
+    wall clock instead of the serial one.
     """
     base = base_settings if base_settings is not None else OptimizerSettings()
-    calibration = calibrate_cost_units(db, queries=calibration_queries)
+    calibration = calibrate_cost_units(db, queries=calibration_queries, scheduler=scheduler)
     return base.with_units(calibration.units)
 
 

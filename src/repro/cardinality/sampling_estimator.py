@@ -16,8 +16,12 @@ sampling estimate for every join appearing in a plan (plus the scanned base
 relations) and returns them as a Δ mapping ready to be merged into Γ.
 
 All relational kernels come from :mod:`repro.relalg` (shared with the
-executor).  Two properties of this workload make sample joins much cheaper
-than re-running them naively:
+executor), including the morsel-driven parallel runtime: when constructed
+with a :class:`~repro.relalg.TaskScheduler`, sample joins run
+partition-parallel on the same worker pool the executor and the workload
+driver use (bit-identical to serial, so the estimates never depend on the
+worker count).  Two properties of this workload make sample joins much
+cheaper than re-running them naively:
 
 * filtered samples are projected down to their *join columns* — counting the
   join result needs no payload columns;
@@ -26,23 +30,40 @@ than re-running them naively:
   **join-prefix cache**: validating ``{R1,R2,R3}`` after ``{R1,R2}`` reuses
   the cached two-way join and performs only the third join, both within one
   plan and across re-optimization rounds.
+
+Cache keys are **morsel-set fingerprints**: each alias's filtered sample is
+fingerprinted by content (``Relation.fingerprint``, row data plus chunking
+grid), and the prefix/count/estimate caches key on frozensets of
+``(alias, fingerprint)`` pairs.  Identical sample content therefore hits the
+cache across rounds, while a changed sample (e.g. a re-created
+:class:`SampleSet`) can never alias a stale entry.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
 from repro.cardinality.gamma import JoinSet
 from repro.errors import SamplingError
 from repro.plans.nodes import JoinNode, PlanNode, ScanNode
-from repro.relalg import Relation, filter_relation, hash_join
+from repro.relalg import (
+    DEFAULT_MORSEL_ROWS,
+    ChunkedRelation,
+    Relation,
+    TaskScheduler,
+    filter_relation,
+    parallel_hash_join,
+)
 from repro.sql.ast import Query
 from repro.storage.catalog import Database
 from repro.storage.sampling import SampleSet
+
+#: A morsel-set cache key: one ``(alias, fingerprint)`` pair per member.
+MorselSetKey = FrozenSet[Tuple[str, Tuple]]
 
 #: Intermediate sample joins larger than this are not kept in the prefix
 #: cache: a many-to-many (or cross-product) sample join can dwarf the base
@@ -78,7 +99,14 @@ class SamplingValidation:
 class SamplingEstimator:
     """Run (sub-)joins of a query over sample tables and scale the counts up."""
 
-    def __init__(self, db: Database, query: Query, samples: Optional[SampleSet] = None) -> None:
+    def __init__(
+        self,
+        db: Database,
+        query: Query,
+        samples: Optional[SampleSet] = None,
+        scheduler: Optional[TaskScheduler] = None,
+        morsel_rows: int = DEFAULT_MORSEL_ROWS,
+    ) -> None:
         self.db = db
         self.query = query
         self.samples = samples if samples is not None else db.samples
@@ -86,18 +114,26 @@ class SamplingEstimator:
             raise SamplingError(
                 "no sample tables available; call Database.create_samples() first"
             )
+        #: Shared morsel scheduler; ``None`` runs every sample join serially.
+        self.scheduler = scheduler
+        self.morsel_rows = morsel_rows
         #: Cache of filtered (and join-column-projected) sample relations.
         self._filtered_cache: Dict[str, Relation] = {}
-        #: Join-prefix cache: alias set (in canonical join order) → joined
-        #: sample relation.  Samples are fixed for the estimator's lifetime,
-        #: so cached sub-joins stay valid across re-optimization rounds.
-        self._prefix_cache: Dict[FrozenSet[str], Relation] = {}
-        #: Cache of observed sample-join counts per join set (shared by
+        #: Morsel-set fingerprint of each alias's filtered sample, memoized
+        #: per relation identity (see ``_fingerprint_for``).
+        self._fingerprints: Dict[str, Tuple[Relation, Tuple]] = {}
+        #: Join-prefix cache: morsel-set key → joined sample relation.
+        #: Fingerprints pin the entries to the exact sample content they were
+        #: computed from, so cached sub-joins stay valid across
+        #: re-optimization rounds for as long as the samples are unchanged.
+        self._prefix_cache: Dict[MorselSetKey, Relation] = {}
+        #: Cache of observed sample-join counts per morsel-set key (shared by
         #: ``estimate_cardinality`` and ``estimate_selectivity``).
-        self._count_cache: Dict[FrozenSet[str], int] = {}
-        #: Cache of sampling estimates per join set (samples are fixed, so the
-        #: estimate for a join set never changes within one re-optimization).
-        self._estimate_cache: Dict[JoinSet, float] = {}
+        self._count_cache: Dict[MorselSetKey, int] = {}
+        #: Cache of sampling estimates per morsel-set key (samples are fixed,
+        #: so the estimate for a join set never changes within one
+        #: re-optimization).
+        self._estimate_cache: Dict[MorselSetKey, float] = {}
         #: The query's join graph (aliases as nodes), built once.
         self._join_graph = query.join_graph()
         #: Lifetime counters (``validate_plan`` reports per-round deltas).
@@ -135,11 +171,39 @@ class SamplingEstimator:
             sample, alias, sorted(predicate_columns | set(join_columns))
         )
         filtered = filter_relation(
-            relation, alias, self.query.local_predicates_for(alias)
+            relation,
+            alias,
+            self.query.local_predicates_for(alias),
+            self.scheduler,
+            self.morsel_rows,
         )
         filtered = filtered.project(f"{alias}.{name}" for name in join_columns)
         self._filtered_cache[alias] = filtered
         return filtered
+
+    def _fingerprint_for(self, alias: str) -> Tuple:
+        """Morsel-set fingerprint of ``alias``'s current filtered sample.
+
+        Memoized per relation *identity*: if the filtered sample is replaced
+        (fresh estimator state, test injection), the fingerprint is
+        recomputed, so cache keys can never alias content they were not
+        computed from.
+        """
+        relation = self._filtered_sample(alias)
+        entry = self._fingerprints.get(alias)
+        if entry is None or entry[0] is not relation:
+            entry = (relation, ChunkedRelation(relation, self.morsel_rows).fingerprint())
+            self._fingerprints[alias] = entry
+        return entry[1]
+
+    def _morsel_set_key(self, aliases: Iterable[str]) -> MorselSetKey:
+        """The cache key of a join set: its members' morsel-set fingerprints."""
+        return frozenset((alias, self._fingerprint_for(alias)) for alias in aliases)
+
+    @staticmethod
+    def _key_aliases(key: MorselSetKey) -> FrozenSet[str]:
+        """The alias set a morsel-set key covers."""
+        return frozenset(alias for alias, _ in key)
 
     def _join_relation(self, aliases: FrozenSet[str]) -> Relation:
         """The joined sample relation for ``aliases``, reusing cached sub-joins.
@@ -150,15 +214,18 @@ class SamplingEstimator:
         connected in the join graph where possible).  Every intermediate
         result is cached, so validating the join sets of one plan — and of
         later re-optimization rounds — degenerates to at most one new join
-        per join set.
+        per join set.  Joins themselves run on the shared morsel scheduler
+        (partition-parallel, bit-identical to serial).
         """
-        cached = self._prefix_cache.get(aliases)
+        key = self._morsel_set_key(aliases)
+        cached = self._prefix_cache.get(key)
         if cached is not None:
             self.prefix_cache_hits += 1
-            self._touch_prefix(aliases)
+            self._touch_prefix(key)
             return cached
         best: Optional[FrozenSet[str]] = None
-        for subset in self._prefix_cache:
+        for cached_key in self._prefix_cache:
+            subset = self._key_aliases(cached_key)
             if subset < aliases and (best is None or len(subset) > len(best)):
                 # A disconnected cached subset is a sample cross product —
                 # typically far larger than a freshly built connected join —
@@ -166,31 +233,40 @@ class SamplingEstimator:
                 if len(subset) > 1 and not self._is_connected(subset):
                     continue
                 best = subset
+        promoted: Optional[Relation] = None
         if best is not None and len(best) > 1:
+            # Re-key with the *current* fingerprints: a stale entry (filtered
+            # sample replaced since it was stored) has a matching alias set
+            # but a different key, and must be a silent miss, not a hit.
+            best_key = self._morsel_set_key(best)
+            promoted = self._prefix_cache.get(best_key)
+        if promoted is not None:
             self.prefix_cache_hits += 1
-            self._touch_prefix(best)
-            current = self._prefix_cache[best]
+            self._touch_prefix(best_key)
+            current = promoted
             included = best
         else:
             first = min(aliases)
             current = self._filtered_sample(first)
             included = frozenset({first})
-            self._store_prefix(included, current)
+            self._store_prefix(self._morsel_set_key(included), current)
         for alias in self._extension_order(included, aliases):
             right = self._filtered_sample(alias)
             predicates = self.query.join_predicates_between(included, {alias})
-            joined = hash_join(current, right, predicates, included)
+            joined = parallel_hash_join(
+                current, right, predicates, included, scheduler=self.scheduler
+            )
             self.sample_join_row_ops += current.num_rows + right.num_rows + joined.num_rows
             current = joined
             included = included | {alias}
-            self._store_prefix(included, current)
+            self._store_prefix(self._morsel_set_key(included), current)
         return current
 
-    def _touch_prefix(self, key: FrozenSet[str]) -> None:
+    def _touch_prefix(self, key: MorselSetKey) -> None:
         """Mark a cache entry as recently used (dict order is LRU order)."""
         self._prefix_cache[key] = self._prefix_cache.pop(key)
 
-    def _store_prefix(self, key: FrozenSet[str], relation: Relation) -> None:
+    def _store_prefix(self, key: MorselSetKey, relation: Relation) -> None:
         """Cache an intermediate sample join, evicting LRU entries beyond the
         per-entry and total row budgets."""
         if relation.num_rows > PREFIX_CACHE_MAX_ROWS:
@@ -244,10 +320,11 @@ class SamplingEstimator:
 
     def _sample_join_count(self, aliases: FrozenSet[str]) -> int:
         """Number of rows the join of ``aliases`` produces over the samples."""
-        if aliases in self._count_cache:
-            return self._count_cache[aliases]
+        key = self._morsel_set_key(aliases)
+        if key in self._count_cache:
+            return self._count_cache[key]
         count = self._join_relation(aliases).num_rows
-        self._count_cache[aliases] = count
+        self._count_cache[key] = count
         return count
 
     # ------------------------------------------------------------------ #
@@ -258,8 +335,9 @@ class SamplingEstimator:
         key = frozenset(aliases)
         if not key:
             raise ValueError("join set must contain at least one relation")
-        if key in self._estimate_cache:
-            return self._estimate_cache[key]
+        cache_key = self._morsel_set_key(key)
+        if cache_key in self._estimate_cache:
+            return self._estimate_cache[cache_key]
         observed = self._sample_join_count(key)
         scale = 1.0
         # Sorted iteration keeps the float product independent of set
@@ -268,7 +346,7 @@ class SamplingEstimator:
             table_name = self.query.table_for_alias(alias)
             scale *= self.samples.scale_factor(table_name)
         estimate = observed * scale
-        self._estimate_cache[key] = estimate
+        self._estimate_cache[cache_key] = estimate
         return estimate
 
     def estimate_selectivity(self, aliases: Iterable[str]) -> float:

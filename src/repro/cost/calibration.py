@@ -79,6 +79,7 @@ def calibrate_cost_units(
     executor=None,
     optimizer=None,
     repetitions: int = 1,
+    scheduler=None,
 ) -> CalibrationResult:
     """Calibrate the cost units against the executor on ``db``.
 
@@ -94,12 +95,17 @@ def calibrate_cost_units(
         omitted.
     repetitions:
         How many times each calibration plan is executed (timings averaged).
+    scheduler:
+        Optional shared morsel :class:`~repro.relalg.TaskScheduler` for the
+        default executor.  Calibration fits units against *observed* wall
+        clock, so calibrating on the same scheduler the deployment executes
+        with keeps the fitted units commensurate with the parallel runtime.
     """
     from repro.executor.executor import Executor
     from repro.optimizer.optimizer import Optimizer
     from repro.sql.builder import QueryBuilder
 
-    executor = executor if executor is not None else Executor(db)
+    executor = executor if executor is not None else Executor(db, scheduler=scheduler)
     optimizer = optimizer if optimizer is not None else Optimizer(db)
 
     if queries is None:

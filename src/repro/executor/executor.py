@@ -16,8 +16,8 @@ and rough ratios between plans because it charges exactly the work the plan
 actually performs.  Wall-clock time is measured as well and reported next to
 the simulated time.
 
-All relational kernels come from :mod:`repro.relalg`.  The executor adds two
-physical-execution concerns on top:
+All relational kernels come from :mod:`repro.relalg`.  The executor adds
+three physical-execution concerns on top:
 
 * **join dispatch** — ``HASH_JOIN`` (and ``INDEX_NESTED_LOOP``, a lookup-based
   method) runs the hash kernel, ``MERGE_JOIN`` the sort-merge kernel and
@@ -26,7 +26,16 @@ physical-execution concerns on top:
 * **projection pushdown** — scans only materialise the columns later
   predicates, join keys, aggregates or the output need, so joins never carry
   dead columns (a :class:`~repro.relalg.Relation` tracks its row count
-  explicitly, which keeps ``COUNT(*)`` correct even with no columns left).
+  explicitly, which keeps ``COUNT(*)`` correct even with no columns left);
+* **morsel-driven parallelism** — when constructed with a parallel
+  :class:`~repro.relalg.TaskScheduler`, plan pipelines execute
+  morsel-at-a-time: scan filters evaluate one morsel task per chunk, hash
+  joins run partition-parallel build/probe tasks, and grouped aggregation
+  reduces group-aligned chunks, all on the *shared* worker pool (the same
+  pool the sampling validator and the workload driver use).  Every parallel
+  path is bit-identical to its serial counterpart, so the per-node
+  instrumentation (actual cardinalities, resource vectors, simulated cost)
+  is unchanged by the worker count.
 """
 
 from __future__ import annotations
@@ -39,12 +48,14 @@ from repro.cost.model import CostModel, ResourceVector
 from repro.cost.units import CostUnits, DEFAULT_COST_UNITS
 from repro.errors import ExecutionError
 from repro.relalg import (
+    DEFAULT_MORSEL_ROWS,
     Relation,
+    TaskScheduler,
     filter_relation,
     group_aggregate,
-    hash_join,
     merge_join,
     nested_loop_join,
+    parallel_hash_join,
 )
 from repro.plans.nodes import (
     AggregateNode,
@@ -140,9 +151,18 @@ class Executor:
         db: Database,
         cost_units: CostUnits = DEFAULT_COST_UNITS,
         tuples_per_page: int = 100,
+        scheduler: Optional[TaskScheduler] = None,
+        morsel_rows: int = DEFAULT_MORSEL_ROWS,
+        nested_loop_block_elements: Optional[int] = None,
     ) -> None:
         self.db = db
         self.cost_model = CostModel(units=cost_units, tuples_per_page=tuples_per_page)
+        #: Shared morsel scheduler; ``None`` executes every kernel serially.
+        self.scheduler = scheduler
+        self.morsel_rows = morsel_rows
+        #: Block budget of the nested-loop kernel (``None`` = kernel default);
+        #: threaded through from ``OptimizerSettings.nested_loop_block_elements``.
+        self.nested_loop_block_elements = nested_loop_block_elements
 
     # ------------------------------------------------------------------ #
     # Node evaluation
@@ -182,14 +202,18 @@ class Executor:
             matched = len(row_ids)
             relation = Relation.from_table(table, alias, load).take(row_ids)
             residual = [p for p in predicates if p is not index_predicate]
-            relation = filter_relation(relation, alias, residual)
+            relation = filter_relation(
+                relation, alias, residual, self.scheduler, self.morsel_rows
+            )
             output_rows = relation.num_rows
             resources = self.cost_model.index_scan_resources(
                 table.num_rows, matched, len(residual), output_rows
             )
         else:
             relation = Relation.from_table(table, alias, load)
-            relation = filter_relation(relation, alias, predicates)
+            relation = filter_relation(
+                relation, alias, predicates, self.scheduler, self.morsel_rows
+            )
             output_rows = relation.num_rows
             resources = self.cost_model.seq_scan_resources(
                 table.num_rows, len(predicates), output_rows
@@ -222,21 +246,28 @@ class Executor:
         right_rows = right_relation.num_rows
 
         if node.method is JoinMethod.MERGE_JOIN:
-            kernel = merge_join
+            joined = merge_join(
+                left_relation, right_relation, node.predicates,
+                frozenset(node.left.relations),
+            )
         elif node.method is JoinMethod.NESTED_LOOP:
-            kernel = nested_loop_join
+            joined = nested_loop_join(
+                left_relation, right_relation, node.predicates,
+                frozenset(node.left.relations),
+                block_elements=self.nested_loop_block_elements,
+            )
         elif node.method in (JoinMethod.HASH_JOIN, JoinMethod.INDEX_NESTED_LOOP):
             # INDEX_NESTED_LOOP is lookup-based and shares the build/probe
-            # kernel (its cost profile differs, its output not).
-            kernel = hash_join
+            # kernel (its cost profile differs, its output not).  With a
+            # parallel scheduler the kernel runs partition-parallel; the
+            # output is bit-identical either way.
+            joined = parallel_hash_join(
+                left_relation, right_relation, node.predicates,
+                frozenset(node.left.relations),
+                scheduler=self.scheduler,
+            )
         else:
             raise ExecutionError(f"unsupported join method {node.method!r}")
-        joined = kernel(
-            left_relation,
-            right_relation,
-            node.predicates,
-            frozenset(node.left.relations),
-        )
         output_rows = joined.num_rows
 
         inner_table_rows = 0.0
@@ -270,7 +301,13 @@ class Executor:
             raise ExecutionError("aggregate node is missing its input")
         child_relation = self._execute_node(node.child, result, required)
         input_rows = child_relation.num_rows
-        output = group_aggregate(child_relation, node.group_by, node.aggregates)
+        output = group_aggregate(
+            child_relation,
+            node.group_by,
+            node.aggregates,
+            scheduler=self.scheduler,
+            morsel_rows=self.morsel_rows,
+        )
         output_rows = output.num_rows
         resources = self.cost_model.aggregate_resources(input_rows, output_rows)
         result.node_executions.append(

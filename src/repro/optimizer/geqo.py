@@ -12,12 +12,20 @@ implements a compact version of that idea:
   (a light-weight stand-in for GEQO's crossover/mutation).
 
 The search is deterministic for a fixed ``geqo_seed``.
+
+During re-optimization the randomized search is **seeded**: the caller (a
+:class:`~repro.optimizer.optimizer.PlanningSession`) passes the previous
+round's best join order via ``seed_orders``, which joins the candidate pool
+ahead of the random permutations.  Later rounds therefore refine the
+incumbent order under the updated Γ instead of restarting the search from
+scratch — above-threshold queries converge the way DP queries do, instead of
+bouncing between unrelated random optima each round.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.cardinality.estimator import CardinalityEstimator
 from repro.cost.model import CostModel
@@ -39,13 +47,20 @@ class GeqoPlanner:
         estimator: CardinalityEstimator,
         cost_model: CostModel,
         settings: OptimizerSettings,
+        seed_orders: Sequence[Sequence[str]] = (),
     ) -> None:
         self.db = db
         self.query = query
         self.estimator = estimator
         self.cost_model = cost_model
         self.settings = settings
+        #: Join orders to evaluate ahead of the random pool (e.g. the
+        #: previous re-optimization round's winner).
+        self.seed_orders = [list(order) for order in seed_orders]
         self.num_orders_considered = 0
+        #: The join order of the best plan the last ``plan_joins`` call found
+        #: (None for single-relation queries); callers feed it back as a seed.
+        self.best_order: Optional[List[str]] = None
 
     # ------------------------------------------------------------------ #
     # Plan construction for one permutation
@@ -129,9 +144,15 @@ class GeqoPlanner:
             return self._scan_for(aliases[0])
 
         rng = random.Random(self.settings.geqo_seed)
-        pool: List[Tuple[float, List[str]]] = []
-        # Always include the textual order as one candidate for determinism.
+        alias_set = set(aliases)
+        # Always include the textual order as one candidate for determinism,
+        # then any caller-provided seed orders (previous rounds' winners;
+        # orders that do not cover the query's aliases are ignored), then the
+        # random pool.
         orders = [list(aliases)]
+        for seed_order in self.seed_orders:
+            if set(seed_order) == alias_set and seed_order not in orders:
+                orders.append(list(seed_order))
         for _ in range(max(1, self.settings.geqo_pool_size - 1)):
             order = list(aliases)
             rng.shuffle(order)
@@ -161,4 +182,5 @@ class GeqoPlanner:
                     best_order = candidate_order
                     improved = True
         assert best_plan is not None
+        self.best_order = list(best_order) if best_order is not None else None
         return best_plan

@@ -51,8 +51,10 @@ class PlanningSession:
     The first :meth:`optimize` call runs the full DP enumeration; subsequent
     calls ask Γ which join sets changed since the previous call
     (``Gamma.changed_since``) and re-expand only the affected masks.  GEQO
-    queries (above the threshold) fall back to a full randomized search each
-    round — the genetic search keeps no reusable memo.
+    queries (above the threshold) re-run the randomized search each round,
+    but **seeded** with the previous round's winning join order, so the
+    search refines the incumbent under the updated Γ instead of restarting
+    from unrelated random permutations.
 
     ``last_masks_expanded`` exposes how many DP masks the most recent call
     (re-)expanded (``None`` on the GEQO path): the incremental-planning
@@ -66,6 +68,8 @@ class PlanningSession:
         self.use_geqo = len(query.aliases) > optimizer.settings.geqo_threshold
         self._dp_planner: Optional[DynamicProgrammingPlanner] = None
         self._gamma_epoch = 0
+        #: The best join order of the previous GEQO round (seeds the next).
+        self._geqo_seed_orders: list = []
         #: DP masks expanded by the most recent call (None on the GEQO path).
         self.last_masks_expanded: Optional[int] = None
         #: Join trees examined by the most recent call.
@@ -78,8 +82,11 @@ class PlanningSession:
             planner = GeqoPlanner(
                 self.optimizer.db, self.query, estimator,
                 self.optimizer.cost_model, self.optimizer.settings,
+                seed_orders=self._geqo_seed_orders,
             )
             join_plan = planner.plan_joins()
+            if planner.best_order is not None:
+                self._geqo_seed_orders = [list(planner.best_order)]
             trees_considered = planner.num_orders_considered
             self.last_masks_expanded = None
         else:

@@ -47,6 +47,11 @@ class OptimizerSettings:
     #: Use PostgreSQL-style MCV matching when estimating join selectivities;
     #: False falls back to the plain System R reduction factor.
     use_mcv_join_refinement: bool = True
+    #: Element budget for one block of the nested-loop join's comparison
+    #: matrix (work_mem-style knob): peak memory per block vs. per-block
+    #: NumPy dispatch overhead.  Threaded through to the executor's
+    #: ``nested_loop_join`` calls.
+    nested_loop_block_elements: int = 4_000_000
     #: Human-readable profile name ("postgresql", "system_a", "system_b").
     profile: str = "postgresql"
 
@@ -61,5 +66,6 @@ class OptimizerSettings:
             enabled_join_methods=self.enabled_join_methods,
             enable_index_scan=self.enable_index_scan,
             use_mcv_join_refinement=self.use_mcv_join_refinement,
+            nested_loop_block_elements=self.nested_loop_block_elements,
             profile=self.profile,
         )

@@ -17,17 +17,28 @@ Layout
 ``predicates``
     Compiled local-predicate evaluation (``= <> < <= > >= IN BETWEEN``).
 ``joins``
-    Hash, sort-merge and block nested-loop equi-join kernels.
+    Hash, sort-merge and block nested-loop equi-join kernels, plus the
+    partition-parallel hash join.
 ``aggregate``
-    ``reduceat``-based grouped aggregation.
+    ``reduceat``-based grouped aggregation (serial and chunk-parallel).
+``scheduler``
+    The shared morsel-task scheduler (bounded worker pool with ordered,
+    deterministic result collection) every parallel kernel dispatches onto.
+
+The parallel paths are **bit-identical** to their serial counterparts: task
+results are always merged in deterministic (morsel/partition) order, and
+float reductions keep their serial accumulation order by aligning chunk
+boundaries with group boundaries.
 """
 
 from repro.relalg.aggregate import group_aggregate
 from repro.relalg.encoding import (
     ColumnData,
     DictEncodedArray,
+    column_fingerprint,
     decode_column,
     factorize_pair,
+    slice_column,
     take_column,
     value_counts,
 )
@@ -36,30 +47,54 @@ from repro.relalg.joins import (
     join_indices,
     merge_join,
     nested_loop_join,
+    parallel_hash_join,
+    parallel_join_indices,
 )
 from repro.relalg.predicates import (
     compile_predicate,
     filter_relation,
     predicate_mask,
 )
-from repro.relalg.relation import Relation, as_relation, relation_num_rows
+from repro.relalg.relation import (
+    DEFAULT_MORSEL_ROWS,
+    ChunkedRelation,
+    Relation,
+    as_relation,
+    concat_relations,
+    relation_num_rows,
+)
+from repro.relalg.scheduler import (
+    TaskScheduler,
+    get_default_scheduler,
+    set_default_scheduler,
+)
 
 __all__ = [
+    "ChunkedRelation",
     "ColumnData",
+    "DEFAULT_MORSEL_ROWS",
     "DictEncodedArray",
     "Relation",
+    "TaskScheduler",
     "as_relation",
+    "column_fingerprint",
     "compile_predicate",
+    "concat_relations",
     "decode_column",
     "factorize_pair",
     "filter_relation",
+    "get_default_scheduler",
     "group_aggregate",
     "hash_join",
     "join_indices",
     "merge_join",
     "nested_loop_join",
+    "parallel_hash_join",
+    "parallel_join_indices",
     "predicate_mask",
     "relation_num_rows",
+    "set_default_scheduler",
+    "slice_column",
     "take_column",
     "value_counts",
 ]

@@ -17,14 +17,19 @@ dictionary-encoded string columns reduce the codes and decode the winners
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ExecutionError
 from repro.relalg.encoding import ColumnData, DictEncodedArray, sort_key, take_column
-from repro.relalg.relation import Relation, as_relation
+from repro.relalg.relation import DEFAULT_MORSEL_ROWS, Relation, as_relation
+from repro.relalg.scheduler import TaskScheduler
 from repro.sql.ast import Aggregate, ColumnRef
+
+#: Below this many input rows the parallel aggregation path is not worth the
+#: task overhead: fall through to the serial reduceat.
+_MIN_PARALLEL_AGG_ROWS = 16_384
 
 
 def _global_aggregate(relation: Relation, aggregates: Sequence[Aggregate]) -> Relation:
@@ -96,12 +101,97 @@ def _grouped_values(
     raise ExecutionError(f"unsupported aggregate function {aggregate.func!r}")
 
 
+def _group_chunks(
+    group_starts: np.ndarray, rows: int, morsel_rows: int
+) -> List[Tuple[int, int]]:
+    """Split the group list into group-aligned chunks of ≈ ``morsel_rows`` rows.
+
+    Chunk boundaries always coincide with group boundaries, so every group's
+    values stay inside one chunk — the property that makes the per-chunk
+    ``reduceat`` partials bit-identical to the full-column serial reduction
+    (a ``reduceat`` segment accumulates only within itself, so splitting the
+    array *between* segments changes nothing).  The chunk grid depends only
+    on the data and ``morsel_rows``, never on the worker count.
+    """
+    chunks: List[Tuple[int, int]] = []
+    num_groups = len(group_starts)
+    lo = 0
+    while lo < num_groups:
+        target = int(group_starts[lo]) + morsel_rows
+        hi = int(np.searchsorted(group_starts, target, side="left"))
+        hi = max(hi, lo + 1)
+        chunks.append((lo, hi))
+        lo = hi
+    return chunks
+
+
+def _parallel_grouped(
+    relation: Relation,
+    aggregates: Sequence[Aggregate],
+    order: np.ndarray,
+    group_starts: np.ndarray,
+    group_counts: np.ndarray,
+    rows: int,
+    result: Relation,
+    scheduler: TaskScheduler,
+    morsel_rows: int,
+) -> Relation:
+    """Aggregate values chunk-parallel: per-morsel partials, concatenated merge.
+
+    Each task gathers the sorted values of one group-aligned chunk and runs
+    the same ``reduceat`` reductions the serial path runs on the full column;
+    the merge concatenates the per-chunk partials in chunk order.  Because
+    chunks are group-aligned (see :func:`_group_chunks`), the merged output
+    is bit-identical to the serial path — including float ``sum``/``avg``,
+    whose accumulation order per group is unchanged.
+    """
+    chunks = _group_chunks(group_starts, rows, morsel_rows)
+    num_groups = len(group_starts)
+
+    def run_chunk(chunk: Tuple[int, int]) -> Dict[str, np.ndarray]:
+        lo, hi = chunk
+        row_lo = int(group_starts[lo])
+        row_hi = int(group_starts[hi]) if hi < num_groups else rows
+        indices = order[row_lo:row_hi]
+        starts_local = group_starts[lo:hi] - row_lo
+        counts_local = group_counts[lo:hi]
+        gathered: Dict[str, ColumnData] = {}
+        partials: Dict[str, np.ndarray] = {}
+        for aggregate in aggregates:
+            sorted_column: Optional[ColumnData] = None
+            if aggregate.column is not None:
+                name = f"{aggregate.alias}.{aggregate.column}"
+                if name not in gathered:
+                    gathered[name] = take_column(relation[name], indices)
+                sorted_column = gathered[name]
+            partials[aggregate.output_name] = _grouped_values(
+                aggregate, sorted_column, starts_local, counts_local
+            )
+        return partials
+
+    chunk_partials = scheduler.map(run_chunk, chunks)
+    for aggregate in aggregates:
+        result[aggregate.output_name] = np.concatenate(
+            [partials[aggregate.output_name] for partials in chunk_partials]
+        )
+    return result
+
+
 def group_aggregate(
     relation,
     group_by: Sequence[ColumnRef],
     aggregates: Sequence[Aggregate],
+    scheduler: Optional[TaskScheduler] = None,
+    morsel_rows: int = DEFAULT_MORSEL_ROWS,
 ) -> Relation:
-    """Grouped aggregation over a runtime relation (vectorised)."""
+    """Grouped aggregation over a runtime relation (vectorised).
+
+    With a parallel ``scheduler`` and a large enough input, the value
+    gathering and per-group reductions run as group-aligned morsel tasks on
+    the shared worker pool; the output is bit-identical to the serial path
+    (see :func:`_parallel_grouped`).  Key grouping (one lexsort) stays
+    serial — it is a single deterministic kernel either way.
+    """
     relation = as_relation(relation)
     rows = relation.num_rows
     if not group_by:
@@ -149,6 +239,24 @@ def group_aggregate(
     result = Relation(num_rows=len(group_starts))
     for name, column in zip(key_names, sorted_keys):
         result[name] = take_column(column, group_starts)
+    if (
+        scheduler is not None
+        and scheduler.parallel
+        and rows >= _MIN_PARALLEL_AGG_ROWS
+        and len(group_starts) > 1
+        and aggregates
+    ):
+        return _parallel_grouped(
+            relation,
+            aggregates,
+            order,
+            group_starts,
+            group_counts,
+            rows,
+            result,
+            scheduler,
+            morsel_rows,
+        )
     sorted_cache: dict = {}
     for aggregate in aggregates:
         sorted_column: Optional[ColumnData] = None

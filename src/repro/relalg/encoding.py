@@ -61,6 +61,10 @@ class DictEncodedArray:
         """Row subset sharing the same dictionary (no re-encoding)."""
         return DictEncodedArray(self.codes[indices], self.dictionary)
 
+    def slice(self, start: int, stop: int) -> "DictEncodedArray":
+        """Contiguous row range as a zero-copy view (codes are a NumPy slice)."""
+        return DictEncodedArray(self.codes[start:stop], self.dictionary)
+
     def code_for(self, value: object) -> Optional[int]:
         """The code of ``value``, or ``None`` when it is not in the dictionary.
 
@@ -107,11 +111,45 @@ def mask_column(column: ColumnData, mask: np.ndarray) -> ColumnData:
     return column[mask]
 
 
+def slice_column(column: ColumnData, start: int, stop: int) -> ColumnData:
+    """Contiguous row range of a runtime column as a zero-copy view.
+
+    NumPy basic slicing returns views, so chunking a relation into morsels
+    allocates no row data whatsoever (encoded columns also share their
+    dictionary).
+    """
+    if isinstance(column, DictEncodedArray):
+        return column.slice(start, stop)
+    return column[start:stop]
+
+
 def decode_column(column: ColumnData) -> np.ndarray:
     """Materialise a runtime column as a plain NumPy array."""
     if isinstance(column, DictEncodedArray):
         return column.decode()
     return column
+
+
+def column_fingerprint(column: ColumnData) -> Tuple:
+    """A cheap content fingerprint of a runtime column.
+
+    Used to build *morsel-set fingerprints* (cache keys over chunked
+    relations): identical content always yields an identical fingerprint, so
+    caches keyed on it stay valid across rounds as long as the underlying
+    data is unchanged.  Numeric data hashes its raw bytes with CRC32; encoded
+    columns hash their code bytes plus the dictionary size; object arrays
+    (rare: unencoded strings) fall back to hashing the Python values.
+    """
+    import zlib
+
+    if isinstance(column, DictEncodedArray):
+        codes = np.ascontiguousarray(column.codes)
+        return ("dict", len(codes), len(column.dictionary), zlib.crc32(codes.tobytes()))
+    values = np.asarray(column)
+    if values.dtype == object:
+        return ("object", len(values), hash(tuple(values.tolist())))
+    contiguous = np.ascontiguousarray(values)
+    return ("plain", str(contiguous.dtype), len(contiguous), zlib.crc32(contiguous.tobytes()))
 
 
 def sort_key(column: ColumnData) -> np.ndarray:

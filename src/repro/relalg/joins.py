@@ -21,20 +21,26 @@ entirely on integer arrays.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.relalg.encoding import ColumnData, codes_against, factorize_pair, take_column
 from repro.relalg.relation import Relation, as_relation
+from repro.relalg.scheduler import TaskScheduler
 from repro.sql.ast import JoinPredicate
 
 #: Composite keys stop growing once the combined domain would overflow int64;
 #: remaining predicates are applied as residual filters on the matched pairs.
 _MAX_COMPOSITE_DOMAIN = 2**62
 
-#: Element budget for one block of the nested-loop comparison matrix.
+#: Default element budget for one block of the nested-loop comparison matrix
+#: (overridable per call; see ``OptimizerSettings.nested_loop_block_elements``).
 _NESTED_LOOP_BLOCK_ELEMENTS = 4_000_000
+
+#: Below this many total input rows a parallel join is not worth the
+#: partitioning pass: fall through to the serial kernel.
+_MIN_PARALLEL_JOIN_ROWS = 16_384
 
 
 def _key_columns(
@@ -166,13 +172,23 @@ def merge_match(
 
 
 def nested_loop_match(
-    left_codes: np.ndarray, right_codes: np.ndarray
+    left_codes: np.ndarray,
+    right_codes: np.ndarray,
+    block_elements: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Match codes by comparing every (left, right) pair, in blocks."""
+    """Match codes by comparing every (left, right) pair, in blocks.
+
+    ``block_elements`` bounds the size of one comparison-matrix block
+    (defaults to :data:`_NESTED_LOOP_BLOCK_ELEMENTS`); it trades peak memory
+    against per-block NumPy dispatch overhead and is threaded through from
+    ``OptimizerSettings.nested_loop_block_elements``.
+    """
     left_rows, right_rows = len(left_codes), len(right_codes)
     if left_rows == 0 or right_rows == 0:
         return _empty_indices()
-    block = max(1, _NESTED_LOOP_BLOCK_ELEMENTS // max(1, right_rows))
+    if block_elements is None:
+        block_elements = _NESTED_LOOP_BLOCK_ELEMENTS
+    block = max(1, block_elements // max(1, right_rows))
     left_parts: List[np.ndarray] = []
     right_parts: List[np.ndarray] = []
     for start in range(0, left_rows, block):
@@ -207,6 +223,7 @@ def join_indices(
     predicates: Sequence[JoinPredicate],
     left_aliases: FrozenSet[str],
     method: str = "hash",
+    nested_loop_block_elements: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Row-index pairs the join of ``left`` and ``right`` produces."""
     left = as_relation(left)
@@ -223,7 +240,9 @@ def join_indices(
     elif method == "merge":
         left_index, right_index = merge_match(left_codes, right_codes)
     elif method == "nested_loop":
-        left_index, right_index = nested_loop_match(left_codes, right_codes)
+        left_index, right_index = nested_loop_match(
+            left_codes, right_codes, nested_loop_block_elements
+        )
     else:
         raise ValueError(f"unknown join kernel {method!r}")
     if residual:
@@ -233,10 +252,19 @@ def join_indices(
     return left_index, right_index
 
 
-def _join(left, right, predicates, left_aliases, method: str) -> Relation:
+def _join(
+    left,
+    right,
+    predicates,
+    left_aliases,
+    method: str,
+    nested_loop_block_elements: Optional[int] = None,
+) -> Relation:
     left = as_relation(left)
     right = as_relation(right)
-    left_index, right_index = join_indices(left, right, predicates, left_aliases, method)
+    left_index, right_index = join_indices(
+        left, right, predicates, left_aliases, method, nested_loop_block_elements
+    )
     return _materialise(left, right, left_index, right_index)
 
 
@@ -250,6 +278,155 @@ def merge_join(left, right, predicates, left_aliases: FrozenSet[str]) -> Relatio
     return _join(left, right, predicates, left_aliases, "merge")
 
 
-def nested_loop_join(left, right, predicates, left_aliases: FrozenSet[str]) -> Relation:
+def nested_loop_join(
+    left,
+    right,
+    predicates,
+    left_aliases: FrozenSet[str],
+    block_elements: Optional[int] = None,
+) -> Relation:
     """Block nested-loop equi-join (reference kernel, O(n·m) comparisons)."""
-    return _join(left, right, predicates, left_aliases, "nested_loop")
+    return _join(left, right, predicates, left_aliases, "nested_loop", block_elements)
+
+
+# --------------------------------------------------------------------------- #
+# Partition-parallel hash join
+# --------------------------------------------------------------------------- #
+def _radix_partitions(codes: np.ndarray, num_partitions: int) -> List[np.ndarray]:
+    """Row indices of every radix partition (``code % num_partitions``).
+
+    One stable counting sort over the partition ids; each returned index
+    array is ascending, so per-partition matching sees rows in their
+    original relative order — the property the deterministic merge relies on.
+    """
+    parts = codes % num_partitions
+    order = np.argsort(parts, kind="stable")
+    counts = np.bincount(parts, minlength=num_partitions)
+    boundaries = np.concatenate(([0], np.cumsum(counts)))
+    return [
+        order[boundaries[p] : boundaries[p + 1]] for p in range(num_partitions)
+    ]
+
+
+def parallel_join_indices(
+    left,
+    right,
+    predicates: Sequence[JoinPredicate],
+    left_aliases: FrozenSet[str],
+    scheduler: Optional[TaskScheduler] = None,
+    num_partitions: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Partition-parallel hash join: radix-partition build, per-partition probe.
+
+    Both sides are radix-partitioned on the composite join code
+    (``code % P``), one build+probe task runs per non-empty partition on the
+    scheduler, and the per-partition pairs are merged deterministically.
+    Every join code lands in exactly one partition, so the merged pair *set*
+    equals the serial kernel's; a final stable sort by left row index
+    restores the serial kernel's exact pair *order* (ascending left row, ties
+    by ascending right row — see :func:`hash_match`), which makes the
+    parallel join bit-identical to :func:`hash_join`.
+
+    With no scheduler (or a serial one, or a small input) this simply runs
+    the serial kernel.
+    """
+    left = as_relation(left)
+    right = as_relation(right)
+    total_rows = left.num_rows + right.num_rows
+    if (
+        scheduler is None
+        or not scheduler.parallel
+        or not predicates
+        or total_rows < _MIN_PARALLEL_JOIN_ROWS
+    ):
+        return join_indices(left, right, predicates, left_aliases, "hash")
+    if left.num_rows == 0 or right.num_rows == 0:
+        return _empty_indices()
+
+    left_codes, right_codes, domain, residual = _composite_codes(
+        left, right, predicates, left_aliases
+    )
+    if num_partitions is None:
+        num_partitions = max(2, 2 * scheduler.workers)
+    num_partitions = min(num_partitions, max(2, domain))
+    left_partitions = _radix_partitions(left_codes, num_partitions)
+    right_partitions = _radix_partitions(right_codes, num_partitions)
+    # Within partition p every code satisfies code % P == p, so the quotient
+    # is a bijective re-coding — it keeps per-partition bucket tables at
+    # ~domain/P entries instead of each task allocating the full domain.
+    quotient_domain = domain // num_partitions + 1
+
+    def match_partition(p: int) -> Tuple[np.ndarray, np.ndarray]:
+        left_rows = left_partitions[p]
+        right_rows = right_partitions[p]
+        if len(left_rows) == 0 or len(right_rows) == 0:
+            return _empty_indices()
+        sub_left, sub_right = hash_match(
+            left_codes[left_rows] // num_partitions,
+            right_codes[right_rows] // num_partitions,
+            quotient_domain,
+        )
+        return left_rows[sub_left], right_rows[sub_right]
+
+    tasks = [
+        p
+        for p in range(num_partitions)
+        if len(left_partitions[p]) and len(right_partitions[p])
+    ]
+    pairs = scheduler.map(match_partition, tasks)
+    if pairs:
+        left_index = np.concatenate([pair[0] for pair in pairs])
+        right_index = np.concatenate([pair[1] for pair in pairs])
+    else:
+        left_index, right_index = _empty_indices()
+    # Deterministic merge: serial pair order is (left row asc, right row asc);
+    # partitions already emit (left asc, right asc) internally and one left
+    # row only ever matches inside one partition, so a stable sort on the
+    # left index alone reproduces the serial order exactly.
+    order = np.argsort(left_index, kind="stable")
+    left_index = left_index[order]
+    right_index = right_index[order]
+    if residual:
+        left_index, right_index = _apply_residual(
+            left, right, residual, left_aliases, left_index, right_index
+        )
+    return left_index, right_index
+
+
+def parallel_hash_join(
+    left,
+    right,
+    predicates,
+    left_aliases: FrozenSet[str],
+    scheduler: Optional[TaskScheduler] = None,
+    num_partitions: Optional[int] = None,
+) -> Relation:
+    """Hash join dispatched onto the shared scheduler (bit-identical to serial).
+
+    Matching is partition-parallel (:func:`parallel_join_indices`); output
+    materialisation then gathers one column per task — fancy indexing
+    releases the GIL, and column identity fixes the task order, so the
+    result relation is byte-for-byte the serial :func:`hash_join` output.
+    """
+    left = as_relation(left)
+    right = as_relation(right)
+    left_index, right_index = parallel_join_indices(
+        left, right, predicates, left_aliases, scheduler, num_partitions
+    )
+    if (
+        scheduler is None
+        or not scheduler.parallel
+        or len(left_index) < _MIN_PARALLEL_JOIN_ROWS
+        or len(left) + len(right) <= 1
+    ):
+        return _materialise(left, right, left_index, right_index)
+
+    gather_jobs = [(name, column, left_index) for name, column in left.items()]
+    gather_jobs += [(name, column, right_index) for name, column in right.items()]
+    gathered = scheduler.map(
+        lambda job: (job[0], take_column(job[1], job[2])), gather_jobs
+    )
+    result = Relation(num_rows=len(left_index))
+    for name, column in gathered:
+        result[name] = column
+    return result

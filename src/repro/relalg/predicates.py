@@ -17,17 +17,27 @@ silent fallback; see the operator table in :data:`repro.sql.ast.COMPARISON_OPS`)
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ExecutionError
 from repro.relalg.encoding import ColumnData, DictEncodedArray
-from repro.relalg.relation import Relation, as_relation
+from repro.relalg.relation import (
+    DEFAULT_MORSEL_ROWS,
+    ChunkedRelation,
+    Relation,
+    as_relation,
+)
+from repro.relalg.scheduler import TaskScheduler
 from repro.sql.ast import LocalPredicate
 
 #: A compiled predicate: runtime column → boolean mask.
 MaskFn = Callable[[ColumnData], np.ndarray]
+
+#: Below this many rows, morsel-parallel predicate evaluation is not worth
+#: the task overhead: fall through to the single whole-column kernel.
+_MIN_PARALLEL_FILTER_ROWS = 16_384
 
 
 def _between_bounds(value: object) -> Tuple[object, object]:
@@ -150,21 +160,59 @@ def compile_predicate(predicate: LocalPredicate) -> MaskFn:
 
 
 def predicate_mask(
-    relation: Relation, alias: str, predicates: Sequence[LocalPredicate]
+    relation: Relation,
+    alias: str,
+    predicates: Sequence[LocalPredicate],
+    scheduler: Optional[TaskScheduler] = None,
+    morsel_rows: int = DEFAULT_MORSEL_ROWS,
 ) -> np.ndarray:
-    """Conjunction mask of ``predicates`` over ``relation``'s rows."""
-    mask = np.ones(relation.num_rows, dtype=bool)
+    """Conjunction mask of ``predicates`` over ``relation``'s rows.
+
+    With a parallel ``scheduler`` and a large enough relation, the mask is
+    computed one morsel task at a time and concatenated in morsel order —
+    predicate evaluation is elementwise, so the chunked mask is bit-identical
+    to the whole-column one.
+    """
+    compiled = []
     for predicate in predicates:
         key = f"{alias}.{predicate.column}"
         if key not in relation:
             raise ExecutionError(f"column {key!r} missing during predicate evaluation")
-        mask &= compile_predicate(predicate)(relation[key])
+        compiled.append((key, compile_predicate(predicate)))
+
+    if (
+        scheduler is not None
+        and scheduler.parallel
+        and compiled
+        and relation.num_rows >= _MIN_PARALLEL_FILTER_ROWS
+    ):
+        chunked = ChunkedRelation(relation, morsel_rows)
+
+        def mask_morsel(morsel: Relation) -> np.ndarray:
+            mask = np.ones(morsel.num_rows, dtype=bool)
+            for key, mask_fn in compiled:
+                mask &= mask_fn(morsel[key])
+            return mask
+
+        return np.concatenate(scheduler.map(mask_morsel, chunked))
+
+    mask = np.ones(relation.num_rows, dtype=bool)
+    for key, mask_fn in compiled:
+        mask &= mask_fn(relation[key])
     return mask
 
 
-def filter_relation(relation, alias: str, predicates: Sequence[LocalPredicate]) -> Relation:
+def filter_relation(
+    relation,
+    alias: str,
+    predicates: Sequence[LocalPredicate],
+    scheduler: Optional[TaskScheduler] = None,
+    morsel_rows: int = DEFAULT_MORSEL_ROWS,
+) -> Relation:
     """Filter a relation by a conjunction of local predicates on ``alias``."""
     relation = as_relation(relation)
     if not predicates:
         return relation
-    return relation.select(predicate_mask(relation, alias, predicates))
+    return relation.select(
+        predicate_mask(relation, alias, predicates, scheduler, morsel_rows)
+    )

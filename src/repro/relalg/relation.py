@@ -11,18 +11,25 @@ pushdown a relation can legitimately carry *zero* columns (e.g. the input of
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.relalg.encoding import (
     ColumnData,
     DictEncodedArray,
+    column_fingerprint,
     column_length,
     decode_column,
     mask_column,
+    slice_column,
     take_column,
 )
+
+#: Default number of rows per morsel.  Large enough that per-task scheduling
+#: overhead is negligible next to the NumPy kernel work, small enough that a
+#: multi-million-row operator yields dozens of tasks for a handful of workers.
+DEFAULT_MORSEL_ROWS = 65_536
 
 
 class Relation(Dict[str, ColumnData]):
@@ -98,6 +105,29 @@ class Relation(Dict[str, ColumnData]):
             num_rows=self._num_rows,
         )
 
+    def slice_rows(self, start: int, stop: int) -> "Relation":
+        """Contiguous row range as a zero-copy view (columns are NumPy slices)."""
+        start = max(0, min(start, self._num_rows))
+        stop = max(start, min(stop, self._num_rows))
+        return Relation(
+            {name: slice_column(column, start, stop) for name, column in self.items()},
+            num_rows=stop - start,
+        )
+
+    def fingerprint(self) -> Tuple:
+        """Content fingerprint: column names plus per-column data hashes.
+
+        Two relations with equal fingerprints hold the same rows in the same
+        order; the sampling validator keys its prefix/count caches on
+        (alias, fingerprint) pairs — the *morsel-set fingerprints* — so
+        cached sub-joins stay valid exactly as long as the samples they were
+        computed from are unchanged.
+        """
+        return (
+            self._num_rows,
+            tuple(sorted((name, column_fingerprint(column)) for name, column in self.items())),
+        )
+
     def decoded(self) -> "Relation":
         """Materialise every dictionary-encoded column as an object array.
 
@@ -112,6 +142,119 @@ class Relation(Dict[str, ColumnData]):
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         encoded = sum(1 for c in self.values() if isinstance(c, DictEncodedArray))
         return f"Relation(rows={self._num_rows}, columns={len(self)}, encoded={encoded})"
+
+
+class ChunkedRelation:
+    """A relation split into fixed-size column morsels (zero-copy views).
+
+    The unit of work of the morsel-driven runtime: every parallel operator
+    takes tasks of one morsel (or one partition) at a time.  Chunking is pure
+    bookkeeping — each morsel's columns are NumPy slice views into the parent
+    relation's arrays, so building a :class:`ChunkedRelation` never copies row
+    data.
+
+    Morsel boundaries are deterministic (``[0, morsel_rows, 2·morsel_rows,
+    ...]``), so the sequence of morsels — and therefore the submission order
+    of every task derived from it — is a pure function of the relation and
+    the configured morsel size.
+    """
+
+    __slots__ = ("relation", "morsel_rows", "_bounds")
+
+    def __init__(self, relation: Relation, morsel_rows: int = DEFAULT_MORSEL_ROWS) -> None:
+        if morsel_rows <= 0:
+            raise ValueError(f"morsel_rows must be positive, got {morsel_rows}")
+        self.relation = relation
+        self.morsel_rows = int(morsel_rows)
+        rows = relation.num_rows
+        starts = list(range(0, rows, self.morsel_rows)) or [0]
+        self._bounds: List[Tuple[int, int]] = [
+            (start, min(start + self.morsel_rows, rows)) for start in starts
+        ]
+
+    @classmethod
+    def from_relation(
+        cls, relation, morsel_rows: int = DEFAULT_MORSEL_ROWS
+    ) -> "ChunkedRelation":
+        """Chunk a relation (or plain column mapping) into morsels."""
+        return cls(as_relation(relation), morsel_rows)
+
+    @property
+    def num_rows(self) -> int:
+        return self.relation.num_rows
+
+    @property
+    def num_morsels(self) -> int:
+        return len(self._bounds)
+
+    @property
+    def bounds(self) -> List[Tuple[int, int]]:
+        """The (start, stop) row range of every morsel, in order."""
+        return list(self._bounds)
+
+    def morsel(self, index: int) -> Relation:
+        """The ``index``-th morsel as a zero-copy relation view."""
+        start, stop = self._bounds[index]
+        return self.relation.slice_rows(start, stop)
+
+    def __len__(self) -> int:
+        return len(self._bounds)
+
+    def __iter__(self) -> Iterator[Relation]:
+        for index in range(len(self._bounds)):
+            yield self.morsel(index)
+
+    def concat(self) -> Relation:
+        """The chunked relation as one contiguous relation (the parent)."""
+        return self.relation
+
+    def fingerprint(self) -> Tuple:
+        """Morsel-set fingerprint: content fingerprint plus the chunking grid."""
+        return (self.morsel_rows, len(self._bounds)) + self.relation.fingerprint()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChunkedRelation(rows={self.num_rows}, morsels={len(self._bounds)}, "
+            f"morsel_rows={self.morsel_rows})"
+        )
+
+
+def concat_relations(parts: Iterable[Relation]) -> Relation:
+    """Concatenate relations with identical columns, in the given order.
+
+    The deterministic merge step of the morsel runtime: the caller supplies
+    parts in morsel order, so the output row order never depends on worker
+    scheduling.  Encoded columns whose parts share one dictionary concatenate
+    in code space; mixed-dictionary parts (which never arise from chunking
+    one relation) fall back to decoding.
+    """
+    parts = [part for part in parts]
+    if not parts:
+        return Relation()
+    if len(parts) == 1:
+        return parts[0]
+    names = list(parts[0].keys())
+    total_rows = sum(part.num_rows for part in parts)
+    columns: Dict[str, ColumnData] = {}
+    for name in names:
+        first = parts[0][name]
+        if isinstance(first, DictEncodedArray):
+            if all(
+                isinstance(part[name], DictEncodedArray)
+                and part[name].dictionary is first.dictionary
+                for part in parts
+            ):
+                columns[name] = DictEncodedArray(
+                    np.concatenate([part[name].codes for part in parts]),
+                    first.dictionary,
+                )
+            else:
+                columns[name] = np.concatenate(
+                    [decode_column(part[name]) for part in parts]
+                )
+        else:
+            columns[name] = np.concatenate([np.asarray(part[name]) for part in parts])
+    return Relation(columns, num_rows=total_rows)
 
 
 def as_relation(columns) -> Relation:

@@ -1,0 +1,280 @@
+"""The shared morsel-task scheduler.
+
+One :class:`TaskScheduler` instance is shared by every layer that wants
+intra-operator parallelism — the executor's morsel pipeline, the parallel
+join/aggregation kernels and the sampling validator all submit *morsel tasks*
+(small, GIL-releasing NumPy computations) into the same bounded worker pool,
+so a 4-worker configuration parallelises a single heavy query just as well as
+a batch of queries.
+
+Design constraints, in order:
+
+* **Determinism** — ``map`` always returns results in submission order, so a
+  parallel kernel that concatenates its task results is bit-identical to the
+  serial loop over the same tasks.  Workers never decide output order.
+* **No nested-pool deadlocks** — a task that itself calls ``map`` (e.g. a
+  partition task that filters per morsel) runs the inner map inline on the
+  worker thread instead of re-submitting; workers therefore never block on
+  the queue they drain.
+* **Graceful serial fallback** — ``workers <= 1`` (or a single task) executes
+  inline on the calling thread with zero thread-pool overhead; every parallel
+  code path degrades to exactly the serial kernel.
+
+Instrumentation: the scheduler counts submitted/completed tasks, tracks the
+current and high-water queue depth, and keeps per-*account* (typically
+per-query) task/seconds tallies that the workload driver reports.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+
+def default_worker_count() -> int:
+    """Worker count used when none is given: ``REPRO_WORKERS`` or the CPU count."""
+    env = os.environ.get(WORKERS_ENV_VAR)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class AccountStats:
+    """Work tally of one accounting label (typically one query)."""
+
+    tasks: int = 0
+    busy_seconds: float = 0.0
+
+
+@dataclass
+class SchedulerStats:
+    """Snapshot of the scheduler's lifetime counters."""
+
+    workers: int
+    tasks_submitted: int = 0
+    tasks_completed: int = 0
+    tasks_inline: int = 0
+    queue_depth: int = 0
+    max_queue_depth: int = 0
+    busy_seconds: float = 0.0
+    accounts: Dict[str, AccountStats] = field(default_factory=dict)
+
+
+class TaskScheduler:
+    """A bounded thread pool with ordered result collection and accounting.
+
+    NumPy kernels release the GIL, so threads give real parallelism for the
+    morsel tasks this runtime submits; the pool is created lazily on the
+    first parallel ``map`` and shut down by :meth:`shutdown` (or the context
+    manager exit).
+    """
+
+    def __init__(self, workers: Optional[int] = None, name: str = "relalg") -> None:
+        self.workers = default_worker_count() if workers is None else max(1, int(workers))
+        self.name = name
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+        self._in_worker = threading.local()
+        self._current_account = threading.local()
+        self._tasks_submitted = 0
+        self._tasks_completed = 0
+        self._tasks_inline = 0
+        self._queue_depth = 0
+        self._max_queue_depth = 0
+        self._busy_seconds = 0.0
+        self._accounts: Dict[str, AccountStats] = {}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix=f"{self.name}-morsel"
+                )
+            return self._pool
+
+    def shutdown(self) -> None:
+        """Stop the worker threads (the scheduler can be reused afterwards)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "TaskScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------ #
+    # Task execution
+    # ------------------------------------------------------------------ #
+    @property
+    def parallel(self) -> bool:
+        """True when this scheduler actually runs tasks on worker threads."""
+        return self.workers > 1
+
+    def accounting(self, label: Optional[str]):
+        """Context manager attributing tasks submitted inside it to ``label``.
+
+        The label applies to ``map`` calls made on the *entering* thread
+        (including from kernels that know nothing about accounting, e.g. the
+        parallel hash join inside a sample validation) unless they pass an
+        explicit ``account``.  The workload driver wraps each query's
+        pipeline in one, giving per-query task/seconds tallies.
+        """
+        scheduler = self
+
+        class _Scope:
+            def __enter__(self) -> "TaskScheduler":
+                self._previous = getattr(scheduler._current_account, "label", None)
+                scheduler._current_account.label = label
+                return scheduler
+
+            def __exit__(self, *exc_info: object) -> None:
+                scheduler._current_account.label = self._previous
+
+        return _Scope()
+
+    def _account(self, label: Optional[str], tasks: int, seconds: float) -> None:
+        if label is None:
+            return
+        stats = self._accounts.setdefault(label, AccountStats())
+        stats.tasks += tasks
+        stats.busy_seconds += seconds
+
+    def _run_inline(
+        self, fn: Callable[[T], R], items: Sequence[T], account: Optional[str]
+    ) -> List[R]:
+        started = time.perf_counter()
+        results = [fn(item) for item in items]
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self._tasks_inline += len(items)
+            self._busy_seconds += elapsed
+            self._account(account, len(items), elapsed)
+        return results
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        account: Optional[str] = None,
+    ) -> List[R]:
+        """Run ``fn`` over ``items``; results come back in submission order.
+
+        The ordered collection is what makes every parallel kernel's merge
+        deterministic: concatenating ``map`` results reproduces the serial
+        loop bit for bit, whatever order the workers finished in.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if account is None:
+            account = getattr(self._current_account, "label", None)
+        # Inline when serial, trivially small, or already on a worker thread
+        # (re-submitting from a worker could deadlock a saturated pool).
+        if not self.parallel or len(items) == 1 or getattr(self._in_worker, "flag", False):
+            return self._run_inline(fn, items, account)
+
+        pool = self._ensure_pool()
+        with self._lock:
+            self._tasks_submitted += len(items)
+            self._queue_depth += len(items)
+            self._max_queue_depth = max(self._max_queue_depth, self._queue_depth)
+
+        def run(item: T) -> R:
+            self._in_worker.flag = True
+            started = time.perf_counter()
+            try:
+                return fn(item)
+            finally:
+                self._in_worker.flag = False
+                elapsed = time.perf_counter() - started
+                with self._lock:
+                    self._tasks_completed += 1
+                    self._queue_depth -= 1
+                    self._busy_seconds += elapsed
+                    self._account(account, 1, elapsed)
+
+        futures = [pool.submit(run, item) for item in items]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # Instrumentation
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_depth(self) -> int:
+        """Tasks currently queued or running on the pool."""
+        with self._lock:
+            return self._queue_depth
+
+    @property
+    def max_queue_depth(self) -> int:
+        """High-water mark of :attr:`queue_depth` over the scheduler's lifetime."""
+        with self._lock:
+            return self._max_queue_depth
+
+    def stats(self) -> SchedulerStats:
+        """A consistent snapshot of all counters."""
+        with self._lock:
+            return SchedulerStats(
+                workers=self.workers,
+                tasks_submitted=self._tasks_submitted,
+                tasks_completed=self._tasks_completed,
+                tasks_inline=self._tasks_inline,
+                queue_depth=self._queue_depth,
+                max_queue_depth=self._max_queue_depth,
+                busy_seconds=self._busy_seconds,
+                accounts={
+                    label: AccountStats(entry.tasks, entry.busy_seconds)
+                    for label, entry in self._accounts.items()
+                },
+            )
+
+    def account_stats(self, label: str) -> AccountStats:
+        """The tally of one accounting label (zeros when never used)."""
+        with self._lock:
+            entry = self._accounts.get(label)
+            return AccountStats(entry.tasks, entry.busy_seconds) if entry else AccountStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskScheduler(workers={self.workers}, queue_depth={self.queue_depth})"
+
+
+#: Process-wide default scheduler (created on first use, serial by default
+#: unless ``REPRO_WORKERS`` says otherwise).
+_default_scheduler: Optional[TaskScheduler] = None
+_default_lock = threading.Lock()
+
+
+def get_default_scheduler() -> TaskScheduler:
+    """The process-wide scheduler shared by callers that do not pass one."""
+    global _default_scheduler
+    with _default_lock:
+        if _default_scheduler is None:
+            _default_scheduler = TaskScheduler()
+        return _default_scheduler
+
+
+def set_default_scheduler(scheduler: Optional[TaskScheduler]) -> None:
+    """Replace the process-wide scheduler (``None`` resets to lazy creation)."""
+    global _default_scheduler
+    with _default_lock:
+        _default_scheduler = scheduler

@@ -39,6 +39,7 @@ from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.settings import OptimizerSettings
 from repro.plans.join_tree import classify_transformation, plans_identical
 from repro.plans.nodes import PlanNode
+from repro.relalg import TaskScheduler
 from repro.reopt.report import ReoptimizationReport, RoundRecord
 from repro.sql.ast import Query
 from repro.storage.catalog import Database
@@ -102,6 +103,7 @@ class Reoptimizer:
         optimizer: Optional[Optimizer] = None,
         settings: Optional[ReoptimizationSettings] = None,
         optimizer_settings: Optional[OptimizerSettings] = None,
+        scheduler: Optional[TaskScheduler] = None,
     ) -> None:
         self.db = db
         if optimizer is not None:
@@ -109,6 +111,10 @@ class Reoptimizer:
         else:
             self.optimizer = Optimizer(db, settings=optimizer_settings)
         self.settings = settings if settings is not None else ReoptimizationSettings()
+        #: Shared morsel scheduler handed to the sampling validator, so plan
+        #: validation parallelises intra-query on the same pool the executor
+        #: and the workload driver use (``None`` = serial validation).
+        self.scheduler = scheduler
 
     # ------------------------------------------------------------------ #
     # The loop
@@ -133,7 +139,7 @@ class Reoptimizer:
             self.db.create_samples(
                 ratio=self.settings.sampling_ratio, seed=self.settings.sampling_seed
             )
-        sampler = SamplingEstimator(self.db, query)
+        sampler = SamplingEstimator(self.db, query, scheduler=self.scheduler)
         session = self.optimizer.planning_session(query)
 
         gamma = gamma if gamma is not None else Gamma()
@@ -169,6 +175,10 @@ class Reoptimizer:
                 plan, validate_base_relations=self.settings.validate_base_relations
             )
             record.sampling_seconds = validation.elapsed_seconds
+            if self.scheduler is not None:
+                # Lifetime high-water mark as of this round's end (the
+                # scheduler is shared; see RoundRecord.scheduler_queue_depth).
+                record.scheduler_queue_depth = self.scheduler.max_queue_depth
             sampling_spent += validation.elapsed_seconds
             record.new_gamma_entries = gamma.merge(validation.cardinalities)
 

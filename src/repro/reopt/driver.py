@@ -2,9 +2,20 @@
 
 The paper re-optimizes one query at a time; a production deployment faces a
 *stream* of queries.  :class:`WorkloadDriver` re-optimizes a batch of queries
-concurrently on a thread pool — the heavy lifting (sample joins, ANALYZE-style
-scans) happens inside numpy kernels that release the GIL, so threads give real
-parallelism without duplicating the database in worker processes.
+concurrently — the heavy lifting (sample joins, filters) happens inside numpy
+kernels that release the GIL, so threads give real parallelism without
+duplicating the database in worker processes.
+
+Parallelism is **morsel-driven**, not thread-per-query: every query's heavy
+kernels are split into morsel/partition tasks and submitted into one shared
+:class:`~repro.relalg.TaskScheduler` whose ``max_workers`` pool is the single
+parallelism budget.  A batch of queries keeps the pool busy with tasks from
+many queries at once, and a *single* heavy query fans its own tasks across
+the whole pool — the configuration that a one-thread-per-query design left
+on one core.  Lightweight per-query coordination (the Algorithm 1 loop, DP
+planning — pure Python, GIL-bound either way) runs on cheap coordination
+threads that mostly wait on morsel tasks; the scheduler tracks per-query
+task/seconds tallies via its accounting labels.
 
 Two batch-level optimizations ride on top:
 
@@ -39,6 +50,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cardinality.gamma import Gamma
 from repro.optimizer.settings import OptimizerSettings
+from repro.relalg import TaskScheduler
+from repro.relalg.scheduler import AccountStats, SchedulerStats
 from repro.reopt.algorithm import (
     ReoptimizationResult,
     ReoptimizationSettings,
@@ -100,7 +113,10 @@ def plan_fingerprint(query: Query) -> Tuple:
 class DriverSettings:
     """Concurrency and caching knobs of the workload driver."""
 
-    #: Worker threads; capped by the batch size, 1 falls back to serial.
+    #: Workers of the shared morsel scheduler — the single parallelism
+    #: budget: morsel tasks from all in-flight queries compete for this pool,
+    #: and one heavy query may occupy all of it.  1 falls back to fully
+    #: serial execution.
     max_workers: int = 4
     #: Reuse finished results across identically-fingerprinted queries.
     use_plan_cache: bool = True
@@ -115,6 +131,7 @@ class DriverStats:
     queries_submitted: int = 0
     queries_reoptimized: int = 0
     plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
     #: Queries that started with a non-empty shared Γ (warm start).
     gamma_warm_starts: int = 0
 
@@ -134,6 +151,7 @@ class WorkloadDriver:
         optimizer_settings: Optional[OptimizerSettings] = None,
         reopt_settings: Optional[ReoptimizationSettings] = None,
         settings: Optional[DriverSettings] = None,
+        scheduler: Optional[TaskScheduler] = None,
     ) -> None:
         self.db = db
         self.optimizer_settings = optimizer_settings
@@ -141,6 +159,17 @@ class WorkloadDriver:
             reopt_settings if reopt_settings is not None else ReoptimizationSettings()
         )
         self.settings = settings if settings is not None else DriverSettings()
+        #: The shared morsel scheduler every query's kernels dispatch onto.
+        #: Callers may pass one (e.g. the bench harness shares it with the
+        #: executor); otherwise it is sized by ``settings.max_workers`` and
+        #: owned by the driver, which parks its worker threads after every
+        #: ``run`` (the pool respawns lazily on the next batch).
+        self._owns_scheduler = scheduler is None
+        self.scheduler = (
+            scheduler
+            if scheduler is not None
+            else TaskScheduler(workers=self.settings.max_workers, name="driver")
+        )
         if db.samples is None:
             db.create_samples(
                 ratio=self.reopt_settings.sampling_ratio,
@@ -159,21 +188,56 @@ class WorkloadDriver:
     # Public API
     # ------------------------------------------------------------------ #
     def run(self, queries: Sequence[Query]) -> List[ReoptimizationResult]:
-        """Re-optimize every query; results are in input order."""
+        """Re-optimize every query; results are in input order.
+
+        Heavy kernels run as morsel tasks on the shared scheduler whatever
+        the batch size: one query fans out across the whole pool, many
+        queries interleave their tasks on it.  The coordination threads
+        below only drive the (Python-bound) Algorithm 1 loops concurrently
+        so independent queries can overlap their morsel work.
+        """
         queries = list(queries)
         if not queries:
             return []
         with self._lock:
             self.stats.queries_submitted += len(queries)
-        workers = max(1, min(self.settings.max_workers, len(queries)))
-        if workers == 1:
-            return [self._run_one(query) for query in queries]
-        with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="reopt") as pool:
-            return list(pool.map(self._run_one, queries))
+        coordinators = max(1, min(self.settings.max_workers, len(queries)))
+        try:
+            if coordinators == 1 or not self.scheduler.parallel:
+                return [self._run_one(query) for query in queries]
+            with ThreadPoolExecutor(
+                max_workers=coordinators, thread_name_prefix="reopt-coord"
+            ) as pool:
+                return list(pool.map(self._run_one, queries))
+        finally:
+            if self._owns_scheduler:
+                # Release the worker threads between batches: counters and
+                # caches survive, the pool respawns on the next parallel map.
+                self.scheduler.shutdown()
+
+    def scheduler_stats(self) -> SchedulerStats:
+        """Snapshot of the shared morsel scheduler's counters."""
+        return self.scheduler.stats()
+
+    def query_task_stats(self, query_name: str) -> AccountStats:
+        """Morsel-task tally of one query (per-query accounting)."""
+        return self.scheduler.account_stats(query_name)
+
+    def shutdown(self) -> None:
+        """Stop the shared scheduler's worker threads."""
+        self.scheduler.shutdown()
 
     # ------------------------------------------------------------------ #
     # Per-query pipeline
     # ------------------------------------------------------------------ #
+    def _stamp_cache_counters(self, report) -> None:
+        """Record the driver's plan-cache totals on every round record."""
+        with self._lock:
+            hits, misses = self.stats.plan_cache_hits, self.stats.plan_cache_misses
+        for record in report.rounds:
+            record.plan_cache_hits = hits
+            record.plan_cache_misses = misses
+
     def _cache_hit(self, cached: ReoptimizationResult, query: Query) -> ReoptimizationResult:
         """Adapt a cached result to the duplicate query that hit the cache.
 
@@ -181,16 +245,25 @@ class WorkloadDriver:
         (that work was paid exactly once); the query, the report's name and
         the top-line overhead are this query's own, and Γ is snapshotted so
         the returned result does not alias the still-mutating shared Γ.
+        Round records are copied before stamping the cache counters — the
+        cached result's own records must keep the counters of *its* run.
         """
         with self._lock:
             self.stats.plan_cache_hits += 1
-        return replace(
+        report = replace(
+            cached.report,
+            query_name=query.name,
+            rounds=[replace(record) for record in cached.report.rounds],
+        )
+        result = replace(
             cached,
             query=query,
-            report=replace(cached.report, query_name=query.name),
+            report=report,
             gamma=cached.gamma.copy(),
             reoptimization_seconds=0.0,
         )
+        self._stamp_cache_counters(report)
+        return result
 
     def _run_one(self, query: Query) -> ReoptimizationResult:
         plan_key = plan_fingerprint(query) if self.settings.use_plan_cache else None
@@ -199,11 +272,14 @@ class WorkloadDriver:
                 cached = self._plan_cache.get(plan_key)
             if cached is not None:
                 return self._cache_hit(cached, query)
+            with self._lock:
+                self.stats.plan_cache_misses += 1
 
         reoptimizer = Reoptimizer(
             self.db,
             settings=self.reopt_settings,
             optimizer_settings=self.optimizer_settings,
+            scheduler=self.scheduler,
         )
         if self.settings.share_gamma:
             gamma_key = statistics_fingerprint(query)
@@ -224,16 +300,19 @@ class WorkloadDriver:
                 if len(gamma):
                     with self._lock:
                         self.stats.gamma_warm_starts += 1
-                result = reoptimizer.reoptimize(query, gamma=gamma)
+                with self.scheduler.accounting(query.name):
+                    result = reoptimizer.reoptimize(query, gamma=gamma)
                 # Snapshot Γ: the shared instance keeps growing as later
                 # same-fingerprint queries validate; the result should carry
                 # the state as of *this* run's end.
                 result = replace(result, gamma=result.gamma.copy())
         else:
-            result = reoptimizer.reoptimize(query)
+            with self.scheduler.accounting(query.name):
+                result = reoptimizer.reoptimize(query)
 
         with self._lock:
             self.stats.queries_reoptimized += 1
             if plan_key is not None and plan_key not in self._plan_cache:
                 self._plan_cache[plan_key] = result
+        self._stamp_cache_counters(result.report)
         return result

@@ -1,0 +1,128 @@
+"""The workload driver on the shared morsel scheduler.
+
+PR-2's driver parallelised only *across* queries (one thread per query);
+the morsel-driven driver submits every query's kernel work as morsel tasks
+into one shared :class:`~repro.relalg.TaskScheduler`, so the worker pool is
+a single parallelism budget with per-query accounting, and the driver's
+plan-cache hit/miss counters plus the scheduler queue depth surface in the
+round records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.relalg.joins as joins_module
+from repro.plans.join_tree import plans_identical
+from repro.relalg import TaskScheduler
+from repro.reopt.algorithm import Reoptimizer
+from repro.reopt.driver import DriverSettings, WorkloadDriver
+from repro.workloads.ott import generate_ott_database, make_ott_query, make_ott_workload
+
+
+@pytest.fixture
+def db():
+    return generate_ott_database(
+        num_tables=5, rows_per_table=1200, rows_per_value=30, seed=17, sampling_ratio=0.3
+    )
+
+
+@pytest.fixture
+def force_parallel(monkeypatch):
+    monkeypatch.setattr(joins_module, "_MIN_PARALLEL_JOIN_ROWS", 0)
+
+
+class TestSharedScheduler:
+    def test_driver_owns_a_scheduler_sized_by_max_workers(self, db):
+        driver = WorkloadDriver(db, settings=DriverSettings(max_workers=3))
+        assert driver.scheduler.workers == 3
+        driver.shutdown()
+
+    def test_single_query_uses_the_pool(self, db, force_parallel):
+        """A lone heavy query fans its morsel tasks across the shared pool —
+        the configuration thread-per-query concurrency left on one core."""
+        driver = WorkloadDriver(db, settings=DriverSettings(max_workers=4))
+        query = make_ott_query(db, [0, 0, 0, 0, 0])
+        [result] = driver.run([query])
+        stats = driver.scheduler_stats()
+        assert stats.tasks_submitted > 0, "no morsel tasks reached the shared pool"
+        per_query = driver.query_task_stats(query.name)
+        assert per_query.tasks > 0
+        assert per_query.busy_seconds >= 0.0
+        # Serial reference: bit-identical plans.
+        serial = Reoptimizer(db).reoptimize(query)
+        assert plans_identical(result.final_plan, serial.final_plan)
+        driver.shutdown()
+
+    def test_per_query_accounting_covers_the_batch(self, db, force_parallel):
+        driver = WorkloadDriver(
+            db, settings=DriverSettings(max_workers=2, use_plan_cache=False, share_gamma=False)
+        )
+        queries = make_ott_workload(db, num_tables=5, num_queries=3, num_matching=4, seed=2)
+        driver.run(queries)
+        accounted = [name for name in {q.name for q in queries}
+                     if driver.query_task_stats(name).tasks > 0]
+        assert accounted, "expected morsel tasks attributed to at least one query"
+        driver.shutdown()
+
+    def test_external_scheduler_is_shared_not_replaced(self, db):
+        with TaskScheduler(workers=2, name="external") as scheduler:
+            driver = WorkloadDriver(
+                db, settings=DriverSettings(max_workers=4), scheduler=scheduler
+            )
+            assert driver.scheduler is scheduler
+
+
+class TestRoundRecordCounters:
+    def test_plan_cache_counters_in_round_records(self, db):
+        driver = WorkloadDriver(db, settings=DriverSettings(max_workers=1))
+        query = make_ott_query(db, [0, 0, 0, 0, 0], name="dup")
+        first, second = driver.run([query, query])
+        assert driver.stats.plan_cache_misses >= 1
+        assert driver.stats.plan_cache_hits >= 1
+        for record in first.report.rounds:
+            assert record.plan_cache_misses is not None
+        # The duplicate's records carry the counters at *its* completion,
+        # without mutating the cached result's own records.
+        hits_on_dup = {record.plan_cache_hits for record in second.report.rounds}
+        assert hits_on_dup == {driver.stats.plan_cache_hits}
+        hits_on_first = {record.plan_cache_hits for record in first.report.rounds}
+        assert hits_on_first == {0}
+        assert "plan_cache_hits" in second.report.summary()
+        driver.shutdown()
+
+    def test_scheduler_queue_depth_recorded_with_parallel_scheduler(self, db, force_parallel):
+        driver = WorkloadDriver(db, settings=DriverSettings(max_workers=4))
+        query = make_ott_query(db, [0, 0, 0, 0, 0])
+        [result] = driver.run([query])
+        validated_rounds = [
+            record for record in result.report.rounds if record.sampling_seconds > 0
+        ]
+        assert validated_rounds
+        for record in validated_rounds:
+            assert record.scheduler_queue_depth is not None
+            assert record.scheduler_queue_depth >= 0
+        assert result.report.max_scheduler_queue_depth() is not None
+        driver.shutdown()
+
+    def test_serial_reoptimizer_leaves_counters_none(self, db):
+        result = Reoptimizer(db).reoptimize(make_ott_query(db, [0, 0, 0, 0, 0]))
+        for record in result.report.rounds:
+            assert record.scheduler_queue_depth is None
+            assert record.plan_cache_hits is None
+        assert result.report.max_scheduler_queue_depth() is None
+
+
+class TestParallelSerialEquivalence:
+    def test_batch_results_identical_to_serial(self, db, force_parallel):
+        queries = make_ott_workload(db, num_tables=5, num_queries=4, num_matching=4, seed=5)
+        serial_reopt = Reoptimizer(db)
+        serial = [serial_reopt.reoptimize(query) for query in queries]
+        driver = WorkloadDriver(
+            db, settings=DriverSettings(max_workers=4, use_plan_cache=False, share_gamma=False)
+        )
+        batched = driver.run(queries)
+        for serial_result, batched_result in zip(serial, batched):
+            assert plans_identical(serial_result.final_plan, batched_result.final_plan)
+            assert serial_result.rounds == batched_result.rounds
+        driver.shutdown()
