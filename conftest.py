@@ -1,0 +1,17 @@
+"""Repository-level pytest configuration.
+
+Registers the ``--update-golden`` flag used by the golden-plan regression
+suite (``tests/golden/``): running ``pytest tests/golden --update-golden``
+re-snapshots the optimizer's plan shapes and estimated cardinalities after
+an *intentional* optimizer change; without the flag, any drift from the
+committed snapshots fails loudly.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden plan snapshots under tests/golden/",
+    )

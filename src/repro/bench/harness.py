@@ -23,11 +23,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
+from repro.cardinality.gamma import Gamma
 from repro.cost.calibration import calibrate_cost_units
 from repro.executor.executor import Executor
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.settings import OptimizerSettings
 from repro.relalg import DEFAULT_MORSEL_ROWS, TaskScheduler
+from repro.reopt.adaptive import AdaptiveExecutor, AdaptiveSettings
 from repro.reopt.algorithm import ReoptimizationSettings, Reoptimizer
 from repro.reopt.driver import DriverSettings, WorkloadDriver
 from repro.sql.ast import Query
@@ -56,6 +58,15 @@ class QueryRunRecord:
     planning_seconds_per_round: List[float] = field(default_factory=list)
     #: DP masks (re-)expanded per round (None entries for GEQO rounds).
     dp_masks_expanded_per_round: List[Optional[int]] = field(default_factory=list)
+    #: Adaptive-execution metrics (None unless ``run_query_suite`` ran with
+    #: ``adaptive_execution=True``): the original plan executed through the
+    #: adaptive executor, re-planning on observed mis-estimates.
+    adaptive_wall_seconds: Optional[float] = None
+    adaptive_planning_seconds: Optional[float] = None
+    adaptive_simulated_cost: Optional[float] = None
+    adaptive_replans: Optional[int] = None
+    adaptive_plan_switches: Optional[int] = None
+    adaptive_intermediates_reused: Optional[int] = None
 
     @property
     def total_with_reoptimization(self) -> float:
@@ -79,6 +90,8 @@ def run_query_suite(
     driver_settings: Optional[DriverSettings] = None,
     workers: int = 1,
     morsel_rows: int = DEFAULT_MORSEL_ROWS,
+    adaptive_execution: bool = False,
+    adaptive_settings: Optional[AdaptiveSettings] = None,
 ) -> List[QueryRunRecord]:
     """Run the full pipeline for every query and collect per-query records.
 
@@ -90,6 +103,12 @@ def run_query_suite(
     pipeline — plan execution, sampling validation and the driver all
     dispatch morsel tasks into the same ``workers``-sized pool.  Results are
     bit-identical to ``workers=1``; only wall-clock changes.
+
+    ``adaptive_execution=True`` additionally executes each query's
+    *original* (static) plan through the :class:`AdaptiveExecutor` — true
+    cardinalities observed at pipeline breakers feed Γ and may re-plan the
+    residual query mid-flight — and records the adaptive metrics on the
+    per-query record.
     """
     optimizer = Optimizer(db, settings=optimizer_settings)
     scheduler = TaskScheduler(workers=workers, name="suite") if workers > 1 else None
@@ -120,6 +139,17 @@ def run_query_suite(
             db, optimizer=optimizer, settings=reopt_settings, scheduler=scheduler
         )
         results = [reoptimizer.reoptimize(query) for query in queries]
+    adaptive_executor = (
+        AdaptiveExecutor(
+            db,
+            optimizer=optimizer,
+            settings=adaptive_settings,
+            scheduler=scheduler,
+            morsel_rows=morsel_rows,
+        )
+        if adaptive_execution
+        else None
+    )
     records: List[QueryRunRecord] = []
     for query, result in zip(queries, results):
         if execute_plans:
@@ -142,6 +172,12 @@ def run_query_suite(
                 seen_signatures.add(signature)
                 execution = executor.execute_plan(record.plan, query)
                 per_round_costs.append(execution.simulated_cost)
+
+        adaptive_result = None
+        if adaptive_executor is not None:
+            adaptive_result = adaptive_executor.execute(
+                query, plan=result.original_plan, gamma=Gamma()
+            )
 
         records.append(
             QueryRunRecord(
@@ -168,6 +204,22 @@ def run_query_suite(
                     record.planning_seconds for record in result.report.rounds
                 ],
                 dp_masks_expanded_per_round=result.report.dp_masks_per_round(),
+                adaptive_wall_seconds=(
+                    adaptive_result.execution.wall_seconds if adaptive_result else None
+                ),
+                adaptive_planning_seconds=(
+                    adaptive_result.planning_seconds if adaptive_result else None
+                ),
+                adaptive_simulated_cost=(
+                    adaptive_result.execution.simulated_cost if adaptive_result else None
+                ),
+                adaptive_replans=adaptive_result.replans if adaptive_result else None,
+                adaptive_plan_switches=(
+                    adaptive_result.plan_switches if adaptive_result else None
+                ),
+                adaptive_intermediates_reused=(
+                    adaptive_result.intermediates_reused if adaptive_result else None
+                ),
             )
         )
     if scheduler is not None:

@@ -2,6 +2,20 @@
 
 from __future__ import annotations
 
-from repro.executor.executor import ExecutionResult, Executor
+from repro.executor.executor import ExecutionResult, Executor, required_columns
+from repro.executor.materialization import (
+    IntermediateRegistry,
+    MaterializedIntermediate,
+    canonical_row_order,
+    canonicalize_relation,
+)
 
-__all__ = ["ExecutionResult", "Executor"]
+__all__ = [
+    "ExecutionResult",
+    "Executor",
+    "IntermediateRegistry",
+    "MaterializedIntermediate",
+    "canonical_row_order",
+    "canonicalize_relation",
+    "required_columns",
+]

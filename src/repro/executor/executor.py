@@ -47,6 +47,7 @@ from typing import Dict, FrozenSet, List, Optional, Set
 from repro.cost.model import CostModel, ResourceVector
 from repro.cost.units import CostUnits, DEFAULT_COST_UNITS
 from repro.errors import ExecutionError
+from repro.executor.materialization import IntermediateRegistry
 from repro.relalg import (
     DEFAULT_MORSEL_ROWS,
     Relation,
@@ -61,6 +62,7 @@ from repro.plans.nodes import (
     AggregateNode,
     JoinMethod,
     JoinNode,
+    MaterializedNode,
     PlanNode,
     ScanMethod,
     ScanNode,
@@ -99,9 +101,12 @@ class ExecutionResult:
     def actual_cardinalities(self) -> Dict[FrozenSet[str], int]:
         """Map each join set touched by the plan to its actual cardinality.
 
-        Aggregation nodes are skipped: they share the relation set of the join
-        below them but their output count is the number of groups, not the
-        join-set cardinality the paper's Γ talks about.
+        Singleton sets are included: every scan contributes its *post-filter*
+        output count, so single-table (join-free) results report their true
+        cardinality too — which is what adaptive gating and the golden suite
+        assert.  Aggregation nodes are skipped: they share the relation set
+        of the join below them but their output count is the number of
+        groups, not the join-set cardinality the paper's Γ talks about.
         """
         return {
             execution.relations: execution.actual_rows
@@ -110,12 +115,19 @@ class ExecutionResult:
         }
 
 
-def _required_columns(plan: PlanNode, query: Optional[Query]) -> Optional[Dict[str, Set[str]]]:
+def required_columns(plan: PlanNode, query: Optional[Query]) -> Optional[Dict[str, Set[str]]]:
     """Columns each alias must carry past its scan, or ``None`` to keep all.
 
     The set is the union of the plan's join-key columns and everything the
     query's output (projections, aggregates, group-by) reads.  ``SELECT *``
     queries (and plans executed without a query) disable pushdown.
+
+    For a *complete* plan (one covering every alias, so every join predicate
+    of the query is applied at some join node) the result is independent of
+    the join order: each alias carries its output columns plus all of its
+    join-predicate columns.  The adaptive executor relies on this — an
+    intermediate materialized under one plan carries exactly the columns any
+    re-planned join order needs above it.
     """
     if query is None:
         return None
@@ -154,6 +166,7 @@ class Executor:
         scheduler: Optional[TaskScheduler] = None,
         morsel_rows: int = DEFAULT_MORSEL_ROWS,
         nested_loop_block_elements: Optional[int] = None,
+        intermediates: Optional[IntermediateRegistry] = None,
     ) -> None:
         self.db = db
         self.cost_model = CostModel(units=cost_units, tuples_per_page=tuples_per_page)
@@ -163,6 +176,9 @@ class Executor:
         #: Block budget of the nested-loop kernel (``None`` = kernel default);
         #: threaded through from ``OptimizerSettings.nested_loop_block_elements``.
         self.nested_loop_block_elements = nested_loop_block_elements
+        #: Registry resolving ``MaterializedNode`` leaves (adaptive execution);
+        #: plans without such leaves never consult it.
+        self.intermediates = intermediates
 
     # ------------------------------------------------------------------ #
     # Node evaluation
@@ -321,6 +337,33 @@ class Executor:
         )
         return output
 
+    def _execute_materialized(
+        self, node: MaterializedNode, result: ExecutionResult
+    ) -> Relation:
+        """Resolve a materialized leaf from the intermediate registry.
+
+        Reuse is free by construction: the resources that produced the
+        relation were charged when its pipeline originally ran, so the node
+        contributes an empty resource vector (only its cardinality, for the
+        instrumentation consumers).
+        """
+        if self.intermediates is None:
+            raise ExecutionError(
+                "plan contains a MaterializedNode but the executor has no "
+                "intermediate registry attached"
+            )
+        relation = self.intermediates.relation(node.relations)
+        result.node_executions.append(
+            NodeExecution(
+                relations=frozenset(node.relations),
+                kind="materialized",
+                actual_rows=relation.num_rows,
+                estimated_rows=node.estimated_rows,
+                resources=ResourceVector(),
+            )
+        )
+        return relation
+
     def _execute_node(
         self,
         node: PlanNode,
@@ -331,6 +374,8 @@ class Executor:
             return self._execute_scan(node, result, required)
         if isinstance(node, JoinNode):
             return self._execute_join(node, result, required)
+        if isinstance(node, MaterializedNode):
+            return self._execute_materialized(node, result)
         if isinstance(node, AggregateNode):
             return self._execute_aggregate(node, result, required)
         raise ExecutionError(f"unknown plan node type {type(node).__name__}")
@@ -338,10 +383,38 @@ class Executor:
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
+    def execute_fragment(
+        self,
+        fragment: PlanNode,
+        required: Optional[Dict[str, Set[str]]] = None,
+    ) -> ExecutionResult:
+        """Execute one plan fragment (a pipeline) without output shaping.
+
+        This is the adaptive executor's building block: the fragment runs
+        with the usual per-node instrumentation, but its output relation is
+        returned *raw* (``result.columns``, encoded columns untouched, no
+        projection to the query's output), so it can feed later pipelines.
+        ``required`` is the column-requirement map of the **complete** plan
+        the fragment belongs to (see :func:`required_columns`) — passing the
+        fragment's own map would under-project its scans.
+        """
+        result = ExecutionResult(columns=Relation(), num_rows=0)
+        started = time.perf_counter()
+        relation = self._execute_node(fragment, result, required)
+        result.wall_seconds = time.perf_counter() - started
+        result.columns = relation
+        result.num_rows = relation.num_rows
+        total = ResourceVector()
+        for execution in result.node_executions:
+            total = total + execution.resources
+        result.actual_resources = total
+        result.simulated_cost = self.cost_model.cost(total)
+        return result
+
     def execute_plan(self, plan: PlanNode, query: Optional[Query] = None) -> ExecutionResult:
         """Execute a physical plan and return the instrumented result."""
         result = ExecutionResult(columns=Relation(), num_rows=0)
-        required = _required_columns(plan, query)
+        required = required_columns(plan, query)
         started = time.perf_counter()
         relation = self._execute_node(plan, result, required)
         result.wall_seconds = time.perf_counter() - started

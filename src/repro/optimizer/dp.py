@@ -29,7 +29,7 @@ re-optimization rounds are cheap, made literal).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.cardinality.estimator import CardinalityEstimator
 from repro.cost.model import CostModel
@@ -75,6 +75,10 @@ class DynamicProgrammingPlanner:
         self._best: Dict[int, PlanNode] = {}
         self._edges: List[Tuple[int, int]] = []
         self._masks_by_size: Dict[int, List[int]] = {}
+        #: Masks pinned to an already-materialized intermediate (adaptive
+        #: re-planning): (re-)expansion keeps the pinned leaf instead of
+        #: re-deriving a join for the subset.
+        self._materialized_masks: Dict[int, PlanNode] = {}
 
     # ------------------------------------------------------------------ #
     # Helpers
@@ -151,13 +155,24 @@ class DynamicProgrammingPlanner:
 
     def _expand_scan(self, alias: str) -> None:
         """(Re)compute the best access path for one base relation."""
-        self._best[self._alias_bit[alias]] = best_scan(
+        bit = self._alias_bit[alias]
+        if bit in self._materialized_masks:
+            self._best[bit] = self._materialized_masks[bit]
+            self.last_masks_expanded += 1
+            return
+        self._best[bit] = best_scan(
             self.db, self.query, alias, self.estimator, self.cost_model, self.settings
         )
         self.last_masks_expanded += 1
 
     def _expand_mask(self, mask: int) -> None:
         """(Re)compute ``best[mask]`` from the current best sub-plans."""
+        if mask in self._materialized_masks:
+            # The subset is already materialized: its best "plan" is the
+            # zero-cost reuse leaf, whatever Γ now says about its parts.
+            self._best[mask] = self._materialized_masks[mask]
+            self.last_masks_expanded += 1
+            return
         candidates: List[PlanNode] = []
         connected_candidates: List[PlanNode] = []
         output_rows = self.estimator.joinset_cardinality(self._mask_aliases(mask))
@@ -230,10 +245,20 @@ class DynamicProgrammingPlanner:
             )
         return self._best[full_mask]
 
+    def _mask_for(self, join_set: FrozenSet[str]) -> Optional[int]:
+        """Bitmask of a join set, or None if it references foreign aliases."""
+        if not join_set or not all(alias in self._alias_bit for alias in join_set):
+            return None
+        mask = 0
+        for alias in join_set:
+            mask |= self._alias_bit[alias]
+        return mask
+
     def replan(
         self,
         estimator: CardinalityEstimator,
         changed_join_sets: Iterable[FrozenSet[str]],
+        materialized: Optional[Mapping[FrozenSet[str], PlanNode]] = None,
     ) -> PlanNode:
         """Incrementally re-plan after Γ changed on ``changed_join_sets``.
 
@@ -243,22 +268,34 @@ class DynamicProgrammingPlanner:
         already-updated sub-plans).  Everything else keeps its memoized best
         plan, making the result identical to a from-scratch search under the
         new Γ.
+
+        ``materialized`` pins subsets to already-materialized intermediates
+        (adaptive re-optimization): each entry's plan node — typically a
+        zero-cost :class:`~repro.plans.nodes.MaterializedNode` — becomes the
+        subset's best plan, and every containing mask is re-expanded so the
+        search may (or may not) route the rest of the query through the
+        reuse leaf, whichever is cheaper.
         """
         if not self._best:
             self.estimator = estimator
-            return self.plan_joins()
+            plan = self.plan_joins()
+            if not materialized:
+                return plan
+            # Fall through: pin the materialized subsets and re-expand.
+            changed_join_sets = frozenset()
         self.estimator = estimator
         self.last_masks_expanded = 0
 
         seeds: List[int] = []
         for join_set in changed_join_sets:
-            if not join_set:
+            mask = self._mask_for(frozenset(join_set))
+            if mask is not None:
+                seeds.append(mask)
+        for join_set, node in (materialized or {}).items():
+            mask = self._mask_for(frozenset(join_set))
+            if mask is None:
                 continue
-            if not all(alias in self._alias_bit for alias in join_set):
-                continue  # Γ entry about relations outside this query
-            mask = 0
-            for alias in join_set:
-                mask |= self._alias_bit[alias]
+            self._materialized_masks[mask] = node
             seeds.append(mask)
 
         full_mask = (1 << len(self.aliases)) - 1

@@ -75,8 +75,17 @@ class PlanningSession:
         #: Join trees examined by the most recent call.
         self.last_join_trees_considered = 0
 
-    def optimize(self, gamma: Optional[Gamma] = None) -> PlanNode:
-        """Plan the session's query under the current Γ."""
+    def optimize(self, gamma: Optional[Gamma] = None, materialized=None) -> PlanNode:
+        """Plan the session's query under the current Γ.
+
+        ``materialized`` (join set → plan node, typically a zero-cost
+        :class:`~repro.plans.nodes.MaterializedNode`) pins subsets of the DP
+        search space to intermediates a partial execution already produced —
+        the adaptive executor's residual planning.  The GEQO path ignores it
+        (the randomized search re-plans from base relations; the adaptive
+        executor still reuses intermediates at execution time by splicing
+        them into whatever plan comes back).
+        """
         estimator = self.optimizer.make_estimator(self.query, gamma)
         if self.use_geqo:
             planner = GeqoPlanner(
@@ -96,7 +105,12 @@ class PlanningSession:
                     self.optimizer.cost_model, self.optimizer.settings,
                 )
                 trees_before = 0
-                join_plan = self._dp_planner.plan_joins()
+                if materialized:
+                    join_plan = self._dp_planner.replan(
+                        estimator, frozenset(), materialized=materialized
+                    )
+                else:
+                    join_plan = self._dp_planner.plan_joins()
             else:
                 changed = (
                     gamma.changed_since(self._gamma_epoch)
@@ -104,7 +118,9 @@ class PlanningSession:
                     else frozenset()
                 )
                 trees_before = self._dp_planner.num_join_trees_considered
-                join_plan = self._dp_planner.replan(estimator, changed)
+                join_plan = self._dp_planner.replan(
+                    estimator, changed, materialized=materialized
+                )
             trees_considered = self._dp_planner.num_join_trees_considered - trees_before
             self.last_masks_expanded = self._dp_planner.last_masks_expanded
         self._gamma_epoch = gamma.epoch if gamma is not None else self._gamma_epoch

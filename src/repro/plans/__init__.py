@@ -6,6 +6,7 @@ from repro.plans.nodes import (
     AggregateNode,
     JoinMethod,
     JoinNode,
+    MaterializedNode,
     PlanNode,
     ScanMethod,
     ScanNode,
@@ -17,6 +18,8 @@ from repro.plans.join_tree import (
     is_covered_by,
     is_local_transformation,
     plans_structurally_equal,
+    replace_subtrees,
+    subtree_for,
 )
 
 __all__ = [
@@ -24,6 +27,7 @@ __all__ = [
     "JoinMethod",
     "JoinNode",
     "JoinTree",
+    "MaterializedNode",
     "PlanNode",
     "ScanMethod",
     "ScanNode",
@@ -32,4 +36,6 @@ __all__ = [
     "is_covered_by",
     "is_local_transformation",
     "plans_structurally_equal",
+    "replace_subtrees",
+    "subtree_for",
 ]

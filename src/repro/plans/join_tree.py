@@ -24,11 +24,11 @@ This module exposes those notions for arbitrary physical plans produced by
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from enum import Enum
-from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.plans.nodes import JoinNode, PlanNode
+from repro.plans.nodes import AggregateNode, JoinNode, PlanNode
 
 #: An ordered logical join: (leaves of the left subtree, leaves of the right
 #: subtree), each in left-to-right leaf order — the "encoding" of Appendix E.
@@ -172,3 +172,49 @@ def plans_identical(first: PlanNode, second: PlanNode) -> bool:
 def plans_structurally_equal(first: PlanNode, second: PlanNode) -> bool:
     """Definition 3: identical ordered join trees (physical operators may differ)."""
     return JoinTree.of(first).ordered_joins == JoinTree.of(second).ordered_joins
+
+
+# --------------------------------------------------------------------------- #
+# Sub-tree surgery (adaptive re-optimization support)
+# --------------------------------------------------------------------------- #
+def subtree_for(plan: PlanNode, relations: Iterable[str]) -> Optional[PlanNode]:
+    """The node of ``plan`` producing exactly the join of ``relations``.
+
+    Aggregation nodes are skipped (they share their child's relation set but
+    produce groups, not join rows).  Returns ``None`` when no node covers the
+    set — the join set belongs to a different join order.
+    """
+    wanted = frozenset(relations)
+    for node in plan.walk():
+        if isinstance(node, AggregateNode):
+            continue
+        if frozenset(node.relations) == wanted:
+            return node
+    return None
+
+
+def replace_subtrees(
+    plan: PlanNode, replacements: Mapping[FrozenSet[str], PlanNode]
+) -> PlanNode:
+    """Swap every sub-tree whose relation set has a replacement, top-down.
+
+    The adaptive executor uses this to splice already-materialized
+    intermediates (as :class:`~repro.plans.nodes.MaterializedNode` leaves)
+    into a freshly planned tree: a node covering exactly a replaced join set
+    becomes the replacement; everything else is rebuilt with its children
+    substituted.  Matching is top-down, so the largest replaceable sub-tree
+    wins.  Aggregation nodes are never replaced themselves (their child is).
+    """
+    if not isinstance(plan, AggregateNode):
+        replacement = replacements.get(frozenset(plan.relations))
+        if replacement is not None:
+            return replacement
+    if isinstance(plan, AggregateNode) and plan.child is not None:
+        return replace(plan, child=replace_subtrees(plan.child, replacements))
+    if isinstance(plan, JoinNode) and plan.left is not None and plan.right is not None:
+        return replace(
+            plan,
+            left=replace_subtrees(plan.left, replacements),
+            right=replace_subtrees(plan.right, replacements),
+        )
+    return plan

@@ -6,6 +6,9 @@ A plan is a tree of :class:`PlanNode` objects:
   with the local predicates applied at the scan;
 * :class:`JoinNode` — a binary join (hash, sort-merge, nested-loop or
   index-nested-loop) over two sub-plans with its equi-join predicates;
+* :class:`MaterializedNode` — a leaf standing for an intermediate result a
+  previous (partial) execution already materialized; the adaptive executor
+  plans residual queries whose leaves include these;
 * :class:`AggregateNode` — an optional grouped aggregation on top.
 
 Every node carries the optimizer's estimated output cardinality and estimated
@@ -112,6 +115,27 @@ class ScanNode(PlanNode):
         if self.predicates:
             parts.append("filter[" + " and ".join(str(p) for p in self.predicates) + "]")
         return " " * indent + " ".join(parts) + f"  (rows={self.estimated_rows:.1f})"
+
+
+@dataclass
+class MaterializedNode(PlanNode):
+    """A leaf standing for an already-materialized intermediate result.
+
+    The node covers the join of ``relations`` (local and join predicates
+    within the set applied); its rows live in the executor's intermediate
+    registry, keyed by the same join set.  ``estimated_rows`` is the *exact*
+    observed cardinality and ``estimated_cost`` is 0 — the work that produced
+    the intermediate is sunk, so re-planning prices reuse at the cost of the
+    operators stacked on top, nothing more.
+    """
+
+    def signature(self) -> tuple:
+        """Hashable description used for structural plan equality."""
+        return ("materialized", tuple(sorted(self.relations)))
+
+    def describe(self, indent: int = 0) -> str:
+        members = ",".join(sorted(self.relations))
+        return " " * indent + f"materialized {{{members}}}  (rows={self.estimated_rows:.1f})"
 
 
 @dataclass

@@ -1,8 +1,17 @@
 """The sampling-based query re-optimization loop (Algorithm 1), its reports,
-and the concurrent workload driver."""
+the concurrent workload driver, and mid-execution adaptive re-optimization."""
 
 from __future__ import annotations
 
+from repro.reopt.adaptive import (
+    AdaptiveExecutionResult,
+    AdaptiveExecutor,
+    AdaptiveSettings,
+    CheckpointRecord,
+    deviation_factor,
+    execute_adaptively,
+    needs_canonical_order,
+)
 from repro.reopt.algorithm import (
     ReoptimizationResult,
     ReoptimizationSettings,
@@ -19,8 +28,15 @@ from repro.reopt.driver import (
 from repro.reopt.report import ReoptimizationReport, RoundRecord
 
 __all__ = [
+    "AdaptiveExecutionResult",
+    "AdaptiveExecutor",
+    "AdaptiveSettings",
+    "CheckpointRecord",
     "DriverSettings",
     "DriverStats",
+    "deviation_factor",
+    "execute_adaptively",
+    "needs_canonical_order",
     "ReoptimizationReport",
     "ReoptimizationResult",
     "ReoptimizationSettings",

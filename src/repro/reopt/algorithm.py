@@ -269,7 +269,9 @@ class Reoptimizer:
                     rows_for(node.child) if node.child is not None else 0.0,
                     node.estimated_rows,
                 )
-            else:  # pragma: no cover - no other node types exist
+            else:
+                # MaterializedNode leaves (adaptive re-planning) are sunk
+                # cost: reuse is free, so they contribute nothing.
                 continue
             total += cost_model.cost(resources)
         return total

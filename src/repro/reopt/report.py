@@ -52,6 +52,15 @@ class RoundRecord:
     #: batch context they ran under.
     plan_cache_hits: Optional[int] = None
     plan_cache_misses: Optional[int] = None
+    #: Adaptive (mid-execution) rounds only: the pipeline whose observed
+    #: cardinality deviation triggered this re-planning round.
+    trigger_join_set: Optional[FrozenSet[str]] = None
+    #: Adaptive rounds only: whether the optimizer actually produced a
+    #: different residual plan (False = it confirmed the incumbent).
+    plan_switched: Optional[bool] = None
+    #: Adaptive rounds only: number of exact (executed) Γ entries available
+    #: when this round planned.
+    exact_gamma_entries: Optional[int] = None
 
 
 @dataclass

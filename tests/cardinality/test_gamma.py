@@ -83,6 +83,48 @@ class TestGamma:
         assert clone.changed_since(checkpoint) == frozenset({frozenset({"b"})})
         assert gamma.changed_since(checkpoint) == frozenset()
 
+    def test_exact_entries_outrank_sampled(self):
+        gamma = Gamma()
+        gamma.record({"a", "b"}, 10.0)
+        assert not gamma.is_exact({"a", "b"})
+        gamma.record_exact({"a", "b"}, 999.0)
+        assert gamma.is_exact({"a", "b"})
+        assert gamma.get({"a", "b"}) == 999.0
+        # A sampled re-validation never downgrades the exact observation.
+        gamma.record({"a", "b"}, 10.0)
+        assert gamma.get({"a", "b"}) == 999.0
+        gamma.merge({frozenset({"a", "b"}): 12.0})
+        assert gamma.get({"a", "b"}) == 999.0
+        # A newer exact observation wins.
+        gamma.record_exact({"a", "b"}, 1000.0)
+        assert gamma.get({"a", "b"}) == 1000.0
+        assert gamma.exact_join_sets() == frozenset({frozenset({"a", "b"})})
+
+    def test_sampled_overwrite_of_exact_does_not_dirty(self):
+        gamma = Gamma()
+        gamma.record_exact({"a"}, 5.0)
+        checkpoint = gamma.epoch
+        gamma.record({"a"}, 7.0)  # silently ignored
+        assert gamma.epoch == checkpoint
+        assert gamma.changed_since(checkpoint) == frozenset()
+
+    def test_merge_gamma_preserves_provenance(self):
+        source = Gamma()
+        source.record_exact({"a", "b"}, 42.0)
+        source.record({"c"}, 3.0)
+        target = Gamma()
+        target.merge(source)
+        assert target.is_exact({"a", "b"})
+        assert not target.is_exact({"c"})
+
+    def test_copy_preserves_provenance(self):
+        gamma = Gamma()
+        gamma.record_exact({"a"}, 1.0)
+        clone = gamma.copy()
+        assert clone.is_exact({"a"})
+        clone.record({"a"}, 2.0)
+        assert clone.get({"a"}) == 1.0
+
     def test_iteration_and_covered_sets(self):
         gamma = Gamma()
         gamma.record({"a"}, 1.0)

@@ -9,12 +9,39 @@ from repro.storage.catalog import Database
 from repro.storage.table import Column, Table, TableSchema
 from repro.workloads.ott import generate_ott_database, make_ott_query
 
+#: The single base seed every test-local random stream derives from.  Tests
+#: that need several independent streams pass distinct offsets to
+#: ``make_rng``; nothing in the suite seeds ``numpy.random`` ad hoc.
+GLOBAL_TEST_SEED = 0
+
 
 @pytest.fixture
-def small_db() -> Database:
+def make_rng():
+    """Factory for deterministic per-test generators.
+
+    ``make_rng(offset)`` returns ``np.random.default_rng(GLOBAL_TEST_SEED +
+    offset)``; the offset keeps streams that must differ (e.g. build vs probe
+    side of a join) independent while the whole suite stays reproducible from
+    one seed.
+    """
+
+    def factory(offset: int = 0) -> np.random.Generator:
+        return np.random.default_rng(GLOBAL_TEST_SEED + offset)
+
+    return factory
+
+
+@pytest.fixture
+def rng(make_rng) -> np.random.Generator:
+    """The default deterministic generator (offset 0)."""
+    return make_rng()
+
+
+@pytest.fixture
+def small_db(make_rng) -> Database:
     """A tiny two-table database (orders/items style) used across unit tests."""
     db = Database("unit")
-    rng = np.random.default_rng(0)
+    rng = make_rng()
     n_orders = 200
     n_items = 1000
     db.create_table(Table(

@@ -138,8 +138,8 @@ class TestCalibration:
         with pytest.raises(CalibrationError):
             fit_cost_units([CalibrationObservation(ResourceVector(seq_pages=1), 0.1)])
 
-    def test_recovers_synthetic_units(self):
-        rng = np.random.default_rng(0)
+    def test_recovers_synthetic_units(self, make_rng):
+        rng = make_rng()
         true_units = np.array([2e-3, 8e-3, 1e-5, 5e-6, 2e-6])
         observations = []
         for _ in range(50):
@@ -158,8 +158,8 @@ class TestCalibration:
         with pytest.raises(CalibrationError):
             fit_cost_units(observations)
 
-    def test_units_never_exactly_zero(self):
-        rng = np.random.default_rng(1)
+    def test_units_never_exactly_zero(self, make_rng):
+        rng = make_rng(1)
         observations = []
         for _ in range(20):
             # Only sequential pages matter in this synthetic workload.

@@ -126,11 +126,11 @@ class TestSamplingValidationBitIdentity:
 
 
 class TestNestedLoopBlockParameter:
-    def test_block_size_does_not_change_results(self):
+    def test_block_size_does_not_change_results(self, make_rng):
         from repro.relalg import Relation, nested_loop_join
         from repro.sql.ast import JoinPredicate
 
-        rng = np.random.default_rng(4)
+        rng = make_rng(4)
         left = Relation({"l.k": rng.integers(0, 20, size=300)})
         right = Relation({"r.k": rng.integers(0, 20, size=200)})
         predicates = [JoinPredicate("l", "k", "r", "k")]

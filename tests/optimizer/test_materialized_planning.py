@@ -1,0 +1,90 @@
+"""Residual planning with materialized-intermediate leaves pinned in the DP."""
+
+import pytest
+
+from repro.cardinality.gamma import Gamma
+from repro.optimizer.optimizer import Optimizer
+from repro.plans.join_tree import subtree_for
+from repro.plans.nodes import MaterializedNode
+from repro.workloads.ott import make_ott_query
+
+
+def reuse_leaf(join_set, rows):
+    return MaterializedNode(
+        relations=frozenset(join_set), estimated_rows=float(rows), estimated_cost=0.0
+    )
+
+
+class TestMaterializedPlanning:
+    def test_pinned_subset_appears_when_cheap(self, ott_db):
+        """A cheap materialized pair is routed through as a reuse leaf."""
+        query = make_ott_query(ott_db, [0, 0, 0, 0], name="pin_cheap")
+        session = Optimizer(ott_db).planning_session(query)
+        gamma = Gamma()
+        session.optimize(gamma)
+
+        gamma.record_exact({"r1", "r2"}, 5.0)
+        plan = session.optimize(
+            gamma, materialized={frozenset({"r1", "r2"}): reuse_leaf({"r1", "r2"}, 5)}
+        )
+        spliced = subtree_for(plan, {"r1", "r2"})
+        assert isinstance(spliced, MaterializedNode)
+
+    def test_exploded_intermediate_is_abandoned(self, ott_db):
+        """A huge materialized pair is planned around, not reused: with the
+        exact cardinality extrapolated, any plan stacking joins on the
+        explosion prices them at the observed size."""
+        query = make_ott_query(ott_db, [0, 0, 0, 1], name="pin_explosion")
+        session = Optimizer(ott_db).planning_session(query)
+        gamma = Gamma()
+        session.optimize(gamma)
+
+        gamma.record_exact({"r1", "r2"}, 10_000_000.0)
+        plan = session.optimize(
+            gamma,
+            materialized={
+                frozenset({"r1", "r2"}): reuse_leaf({"r1", "r2"}, 10_000_000)
+            },
+        )
+        # The new plan must not put another join on top of the explosion
+        # before the (cheap) mismatching pair has pruned the rows: the
+        # sub-plan {r1, r2, r3} would carry the observed 10M rows.
+        assert subtree_for(plan, {"r1", "r2", "r3"}) is None
+
+    def test_pinned_masks_survive_later_dirty_rounds(self, ott_db):
+        query = make_ott_query(ott_db, [0, 0, 0, 0], name="pin_sticky")
+        session = Optimizer(ott_db).planning_session(query)
+        gamma = Gamma()
+        session.optimize(gamma)
+        gamma.record_exact({"r1", "r2"}, 5.0)
+        session.optimize(
+            gamma, materialized={frozenset({"r1", "r2"}): reuse_leaf({"r1", "r2"}, 5)}
+        )
+        # A later round dirties an overlapping set; the pinned leaf must not
+        # be overwritten by a re-derived join over its members.
+        gamma.record_exact({"r2", "r3"}, 4.0)
+        plan = session.optimize(gamma)
+        spliced = subtree_for(plan, {"r1", "r2"})
+        if spliced is not None:
+            assert isinstance(spliced, MaterializedNode)
+
+    def test_first_session_call_accepts_materialized(self, ott_db):
+        query = make_ott_query(ott_db, [0, 0, 0, 0], name="pin_first")
+        session = Optimizer(ott_db).planning_session(query)
+        gamma = Gamma()
+        gamma.record_exact({"r1", "r2"}, 5.0)
+        plan = session.optimize(
+            gamma, materialized={frozenset({"r1", "r2"}): reuse_leaf({"r1", "r2"}, 5)}
+        )
+        assert isinstance(subtree_for(plan, {"r1", "r2"}), MaterializedNode)
+
+    def test_foreign_alias_materialized_entries_ignored(self, ott_db):
+        query = make_ott_query(ott_db, [0, 0, 0, 0], name="pin_foreign")
+        session = Optimizer(ott_db).planning_session(query)
+        gamma = Gamma()
+        session.optimize(gamma)
+        plan = session.optimize(
+            gamma, materialized={frozenset({"zz", "yy"}): reuse_leaf({"zz", "yy"}, 5)}
+        )
+        assert plan is not None
+        assert subtree_for(plan, {"zz", "yy"}) is None

@@ -51,8 +51,8 @@ def _random_relation(rng, alias: str, rows: int, key_domain: int, string_keys: b
 class TestJoinKernelEquivalence:
     @pytest.mark.parametrize("seed", range(8))
     @pytest.mark.parametrize("string_keys", [False, True])
-    def test_kernels_agree_on_random_data(self, seed, string_keys):
-        rng = np.random.default_rng(seed)
+    def test_kernels_agree_on_random_data(self, seed, string_keys, make_rng):
+        rng = make_rng(seed)
         left = _random_relation(
             rng, "l", int(rng.integers(0, 120)), int(rng.integers(1, 40)), string_keys
         )
@@ -76,8 +76,8 @@ class TestJoinKernelEquivalence:
         assert results[0].num_rows == expected
 
     @pytest.mark.parametrize("seed", range(4))
-    def test_multi_predicate_composite_keys(self, seed):
-        rng = np.random.default_rng(100 + seed)
+    def test_multi_predicate_composite_keys(self, seed, make_rng):
+        rng = make_rng(100 + seed)
         rows = 150
         left = Relation(
             {
@@ -123,8 +123,8 @@ class TestDictionaryRoundTrip:
         assert encoded.codes.dtype == np.int32
         assert list(encoded.decode()) == list(values)
 
-    def test_filter_join_aggregate_round_trip(self):
-        rng = np.random.default_rng(11)
+    def test_filter_join_aggregate_round_trip(self, make_rng):
+        rng = make_rng(11)
         categories = np.array(["alpha", "beta", "gamma", "delta"], dtype=object)
         rows = 300
         left = Relation(

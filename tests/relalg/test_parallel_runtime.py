@@ -90,8 +90,8 @@ def _keyed_relation(rng, alias, rows, domain, string_keys):
 class TestParallelHashJoinBitIdentity:
     @pytest.mark.parametrize("seed", range(6))
     @pytest.mark.parametrize("string_keys", [False, True])
-    def test_single_key_random(self, force_parallel, scheduler, seed, string_keys):
-        rng = np.random.default_rng(seed)
+    def test_single_key_random(self, force_parallel, scheduler, seed, string_keys, make_rng):
+        rng = make_rng(seed)
         left = _keyed_relation(
             rng, "l", int(rng.integers(0, 500)), int(rng.integers(1, 60)), string_keys
         )
@@ -108,8 +108,8 @@ class TestParallelHashJoinBitIdentity:
             assert_bit_identical(serial, parallel)
 
     @pytest.mark.parametrize("seed", range(4))
-    def test_composite_keys(self, force_parallel, scheduler, seed):
-        rng = np.random.default_rng(100 + seed)
+    def test_composite_keys(self, force_parallel, scheduler, seed, make_rng):
+        rng = make_rng(100 + seed)
         left = _keyed_relation(rng, "l", 300, 12, False)
         right = _keyed_relation(rng, "r", 250, 12, False)
         predicates = [
@@ -125,13 +125,13 @@ class TestParallelHashJoinBitIdentity:
     @pytest.mark.parametrize("string_keys", [False, True])
     def test_composite_domain_overflow_residual_path(
         self, force_parallel, scheduler, monkeypatch, string_keys
-    ):
+    , make_rng):
         """When the composite int64 domain overflows, extra predicates become
         residual filters on the matched pairs — serial and parallel must
         agree bit for bit on that path too (shrinking the overflow limit
         forces it without multi-million-value dictionaries)."""
         monkeypatch.setattr(joins_module, "_MAX_COMPOSITE_DOMAIN", 8)
-        rng = np.random.default_rng(7)
+        rng = make_rng(7)
         left = _keyed_relation(rng, "l", 400, 20, string_keys)
         right = _keyed_relation(rng, "r", 350, 20, string_keys)
         predicates = [
@@ -151,8 +151,8 @@ class TestParallelHashJoinBitIdentity:
         monkeypatch.undo()
         assert_bit_identical(hash_join(left, right, predicates, frozenset({"l"})), serial)
 
-    def test_empty_and_no_match_inputs(self, force_parallel, scheduler):
-        rng = np.random.default_rng(1)
+    def test_empty_and_no_match_inputs(self, force_parallel, scheduler, make_rng):
+        rng = make_rng(1)
         left = _keyed_relation(rng, "l", 100, 5, False)
         empty = _keyed_relation(rng, "r", 0, 5, False)
         predicates = [JoinPredicate("l", "k", "r", "k")]
@@ -172,10 +172,10 @@ class TestParallelHashJoinBitIdentity:
 class TestParallelAggregationBitIdentity:
     @pytest.mark.parametrize("seed", range(5))
     @pytest.mark.parametrize("morsel_rows", [7, 64, 1000, 100_000])
-    def test_float_sum_avg_bit_identity(self, force_parallel, scheduler, seed, morsel_rows):
+    def test_float_sum_avg_bit_identity(self, force_parallel, scheduler, seed, morsel_rows, make_rng):
         """Group-aligned chunking must keep float accumulation order — the
         sums must be *exactly* equal, not just allclose."""
-        rng = np.random.default_rng(seed)
+        rng = make_rng(seed)
         rows = int(rng.integers(1, 3000))
         relation = Relation(
             {
@@ -198,8 +198,8 @@ class TestParallelAggregationBitIdentity:
         assert_bit_identical(serial, parallel)
 
     @pytest.mark.parametrize("morsel_rows", [3, 50, 1024])
-    def test_string_keys_and_string_min_max(self, force_parallel, scheduler, morsel_rows):
-        rng = np.random.default_rng(13)
+    def test_string_keys_and_string_min_max(self, force_parallel, scheduler, morsel_rows, make_rng):
+        rng = make_rng(13)
         rows = 800
         categories = np.array([f"cat_{i:02d}" for i in range(17)], dtype=object)
         relation = Relation(
@@ -224,8 +224,8 @@ class TestParallelAggregationBitIdentity:
         )
         assert_bit_identical(serial, parallel)
 
-    def test_global_aggregate_unaffected(self, force_parallel, scheduler):
-        rng = np.random.default_rng(3)
+    def test_global_aggregate_unaffected(self, force_parallel, scheduler, make_rng):
+        rng = make_rng(3)
         relation = Relation({"t.v": rng.uniform(size=500)})
         aggregates = [Aggregate("sum", "t", "v", "s"), Aggregate("count", None, None, "n")]
         serial = group_aggregate(relation, [], aggregates)
@@ -235,8 +235,8 @@ class TestParallelAggregationBitIdentity:
 
 class TestParallelFilterBitIdentity:
     @pytest.mark.parametrize("morsel_rows", [5, 128, 4096])
-    def test_filter_masks_identical(self, force_parallel, scheduler, morsel_rows):
-        rng = np.random.default_rng(21)
+    def test_filter_masks_identical(self, force_parallel, scheduler, morsel_rows, make_rng):
+        rng = make_rng(21)
         rows = 2000
         relation = Relation(
             {
@@ -258,8 +258,8 @@ class TestParallelFilterBitIdentity:
 
 
 class TestChunkedRelation:
-    def test_zero_copy_morsels(self):
-        rng = np.random.default_rng(5)
+    def test_zero_copy_morsels(self, make_rng):
+        rng = make_rng(5)
         relation = Relation(
             {
                 "t.a": rng.integers(0, 9, size=1000),
@@ -283,10 +283,10 @@ class TestChunkedRelation:
         assert chunked.num_morsels == 1
         assert chunked.morsel(0).num_rows == 0
 
-    def test_concat_of_morsels_round_trips(self):
+    def test_concat_of_morsels_round_trips(self, make_rng):
         from repro.relalg import concat_relations
 
-        rng = np.random.default_rng(8)
+        rng = make_rng(8)
         relation = Relation(
             {
                 "t.a": rng.integers(0, 9, size=777),

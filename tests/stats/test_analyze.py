@@ -27,8 +27,8 @@ class TestAnalyzeColumn:
         assert stats.mcv_total_fraction == pytest.approx(1.0)
         assert stats.mcv_fraction_for(3) == pytest.approx(0.1)
 
-    def test_mcvs_capture_skewed_values(self):
-        rng = np.random.default_rng(0)
+    def test_mcvs_capture_skewed_values(self, make_rng):
+        rng = make_rng()
         skewed = np.concatenate([np.full(900, 7), rng.integers(100, 1000, size=100)])
         stats = analyze_column(skewed, "a", is_numeric=True, mcv_target=10)
         assert stats.mcv_values[0] == 7
@@ -57,8 +57,8 @@ class TestAnalyzeColumn:
 
 
 class TestAnalyzeTable:
-    def make_table(self, rows=1000):
-        rng = np.random.default_rng(1)
+    def make_table(self, make_rng, rows=1000):
+        rng = make_rng(1)
         schema = TableSchema("t", (Column("a", "int"), Column("b", "float"), Column("c", "str")))
         return Table(schema, {
             "a": rng.integers(0, 100, size=rows),
@@ -66,23 +66,23 @@ class TestAnalyzeTable:
             "c": rng.choice(["u", "v", "w"], size=rows).astype(object),
         })
 
-    def test_full_scan_statistics(self):
-        table = self.make_table()
+    def test_full_scan_statistics(self, make_rng):
+        table = self.make_table(make_rng)
         stats = analyze_table(table)
         assert stats.row_count == 1000
         assert set(stats.columns) == {"a", "b", "c"}
         assert stats.column("a").n_distinct == 100
         assert stats.column("c").n_distinct == 3
 
-    def test_sampled_analyze(self):
-        table = self.make_table(rows=5000)
+    def test_sampled_analyze(self, make_rng):
+        table = self.make_table(make_rng, rows=5000)
         stats = analyze_table(table, sample_rows=500, seed=3)
         assert stats.row_count == 5000
         # Distinct count observed on the sample never exceeds the table size.
         assert stats.column("a").n_distinct <= 5000
 
-    def test_has_column_and_missing_column(self):
-        stats = analyze_table(self.make_table())
+    def test_has_column_and_missing_column(self, make_rng):
+        stats = analyze_table(self.make_table(make_rng))
         assert stats.has_column("a")
         assert not stats.has_column("zzz")
 

@@ -7,8 +7,8 @@ from repro.stats.multidim import MultiDimHistogram, true_ott_pair_selectivity
 
 
 @pytest.fixture
-def ott_pair():
-    rng = np.random.default_rng(2)
+def ott_pair(make_rng):
+    rng = make_rng(2)
     a1 = rng.integers(0, 100, size=5000)
     a2 = rng.integers(0, 100, size=5000)
     return a1, a1.copy(), a2, a2.copy()

@@ -8,27 +8,33 @@ from repro.storage.catalog import Database
 from repro.storage.table import Column, Table, TableSchema
 
 
-def make_table(name="t", rows=100):
-    schema = TableSchema(name, (Column("a", "int"), Column("b", "int")))
-    rng = np.random.default_rng(0)
-    return Table(schema, {"a": np.arange(rows), "b": rng.integers(0, 10, size=rows)})
+@pytest.fixture
+def make_table(make_rng):
+    """Factory for small deterministic tables (seeded via the shared fixture)."""
+
+    def factory(name="t", rows=100):
+        schema = TableSchema(name, (Column("a", "int"), Column("b", "int")))
+        rng = make_rng()
+        return Table(schema, {"a": np.arange(rows), "b": rng.integers(0, 10, size=rows)})
+
+    return factory
 
 
 class TestTables:
-    def test_create_and_lookup(self):
+    def test_create_and_lookup(self, make_table):
         db = Database()
         table = db.create_table(make_table())
         assert db.has_table("t")
         assert db.table("t") is table
         assert db.table_names() == ["t"]
 
-    def test_duplicate_create_rejected(self):
+    def test_duplicate_create_rejected(self, make_table):
         db = Database()
         db.create_table(make_table())
         with pytest.raises(CatalogError):
             db.create_table(make_table())
 
-    def test_replace_invalidates_derived_state(self):
+    def test_replace_invalidates_derived_state(self, make_table):
         db = Database()
         db.create_table(make_table())
         db.create_index("t", "a")
@@ -39,7 +45,7 @@ class TestTables:
         assert "t" not in db.statistics
         assert db.samples is None
 
-    def test_drop_table(self):
+    def test_drop_table(self, make_table):
         db = Database()
         db.create_table(make_table())
         db.create_index("t", "a")
@@ -56,7 +62,7 @@ class TestTables:
 
 
 class TestIndexes:
-    def test_create_and_lookup_index(self):
+    def test_create_and_lookup_index(self, make_table):
         db = Database()
         db.create_table(make_table())
         db.create_index("t", "b")
@@ -65,7 +71,7 @@ class TestIndexes:
         assert db.sorted_index("t", "b") is not None
         assert db.indexed_columns("t") == ["b"]
 
-    def test_missing_index_raises(self):
+    def test_missing_index_raises(self, make_table):
         db = Database()
         db.create_table(make_table())
         with pytest.raises(CatalogError):
@@ -75,7 +81,7 @@ class TestIndexes:
 
 
 class TestStatisticsAndSamples:
-    def test_analyze_populates_statistics(self):
+    def test_analyze_populates_statistics(self, make_table):
         db = Database()
         db.create_table(make_table())
         db.analyze()
@@ -83,13 +89,13 @@ class TestStatisticsAndSamples:
         assert stats.row_count == 100
         assert stats.column("b").n_distinct == 10
 
-    def test_statistics_missing_raises(self):
+    def test_statistics_missing_raises(self, make_table):
         db = Database()
         db.create_table(make_table())
         with pytest.raises(StatisticsError):
             db.table_statistics("t")
 
-    def test_create_samples(self):
+    def test_create_samples(self, make_table):
         db = Database()
         db.create_table(make_table(rows=1000))
         samples = db.create_samples(ratio=0.1, seed=1)

@@ -1,0 +1,63 @@
+"""Direct unit tests for the ball-queue model (Equation 1, Lemma 1, Theorem 3)."""
+
+import numpy as np
+import pytest
+
+from repro.theory.ball_queue import (
+    expected_steps,
+    expected_steps_curve,
+    simulate_procedure1,
+    sqrt_bound_holds,
+)
+
+
+class TestExpectedSteps:
+    def test_closed_form_small_n(self):
+        # S_1: the single ball is marked once, the next probe terminates.
+        assert expected_steps(1) == pytest.approx(1.0)
+        # S_2 by hand: 1·1·(1/2) + 2·(1/2)·(2/2) = 1.5
+        assert expected_steps(2) == pytest.approx(1.5)
+        # S_3 by hand: 1·(1/3) + 2·(2/3)·(2/3) + 3·(2/3)·(1/3)·(3/3) = 17/9
+        assert expected_steps(3) == pytest.approx(17.0 / 9.0)
+
+    def test_monotone_in_n(self):
+        values = [expected_steps(n) for n in range(1, 60)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            expected_steps(0)
+        with pytest.raises(ValueError):
+            expected_steps(-3)
+
+    def test_theorem3_sqrt_envelope(self):
+        # Figure 3's claim: sqrt(N) <= S_N <= 2*sqrt(N) over the plotted range.
+        assert sqrt_bound_holds(500, factor=2.0)
+        for n in (10, 100, 500):
+            assert expected_steps(n) >= np.sqrt(n)
+
+    def test_sqrt_bound_detects_violation(self):
+        # A factor below 1 must fail (S_N >= sqrt(N)).
+        assert not sqrt_bound_holds(100, factor=0.9)
+
+    def test_curve_matches_pointwise_evaluation(self):
+        curve = expected_steps_curve(max_n=20, step=5)
+        assert sorted(curve) == [1, 6, 11, 16]
+        for n, value in curve.items():
+            assert value == pytest.approx(expected_steps(n))
+
+
+class TestSimulation:
+    def test_monte_carlo_agrees_with_closed_form(self):
+        for n in (1, 2, 5, 20):
+            simulated = simulate_procedure1(n, trials=4000, seed=1)
+            assert simulated == pytest.approx(expected_steps(n), rel=0.1)
+
+    def test_simulation_is_seeded(self):
+        a = simulate_procedure1(10, trials=100, seed=3)
+        b = simulate_procedure1(10, trials=100, seed=3)
+        assert a == b
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_procedure1(0)

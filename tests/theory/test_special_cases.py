@@ -1,0 +1,45 @@
+"""Direct unit tests for the Appendix B special-case convergence bounds."""
+
+import pytest
+
+from repro.theory.ball_queue import expected_steps
+from repro.theory.special_cases import (
+    overestimation_only_bound,
+    underestimation_only_expected_steps,
+)
+
+
+class TestOverestimationBound:
+    def test_theorem7_m_plus_1(self):
+        # Each round validates at least one more join of the final plan.
+        assert overestimation_only_bound(0) == 1
+        assert overestimation_only_bound(4) == 5
+        assert overestimation_only_bound(7) == 8
+
+    def test_negative_joins_rejected(self):
+        with pytest.raises(ValueError):
+            overestimation_only_bound(-1)
+
+
+class TestUnderestimationBound:
+    def test_partitioned_expected_steps(self):
+        # S_{N/M}: partitioning by the first join's edge.
+        assert underestimation_only_expected_steps(32, 4) == pytest.approx(
+            expected_steps(8)
+        )
+
+    def test_floor_at_one_tree_per_partition(self):
+        # More edges than trees still leaves one tree per partition.
+        assert underestimation_only_expected_steps(3, 10) == pytest.approx(
+            expected_steps(1)
+        )
+
+    def test_much_smaller_than_unpartitioned(self):
+        n, m = 1024, 8
+        assert underestimation_only_expected_steps(n, m) < expected_steps(n)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            underestimation_only_expected_steps(0, 1)
+        with pytest.raises(ValueError):
+            underestimation_only_expected_steps(16, 0)
