@@ -1,0 +1,52 @@
+"""Query-service throughput gate.
+
+Serves a parameterized TPC-H template mix at concurrency 8 in two modes —
+from-scratch planning per execution vs the full service stack (result cache +
+sampling-validated plan cache + singleflight coalescing + admission control)
+— and gates:
+
+* **>= 3x queries/second** for the service over from-scratch planning
+  (``SERVICE_BENCH_MIN_SPEEDUP`` overrides the floor on noisy shared
+  runners; the measured ratio is printed and uploaded either way);
+* **bit-identical results** for every (template, binding) pair — always
+  asserted at full strength;
+* the serving layers actually fired (fresh plans for the distinct templates,
+  validated reuses, result-cache hits).
+
+The drift-injection behavior (validator rejecting a stale cached plan) is
+regression-tested in ``tests/service/test_service.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import run_once
+
+from repro.bench.experiments import service_throughput
+
+MIN_SPEEDUP = float(os.environ.get("SERVICE_BENCH_MIN_SPEEDUP", "3.0"))
+
+
+def test_service_throughput(benchmark):
+    result = run_once(benchmark, service_throughput)
+    rows = {row["mode"]: row for row in result.rows}
+    scratch, service = rows["from_scratch"], rows["service"]
+
+    # Bit-identity is the hard contract — never relaxed.
+    assert service["bit_identical"], "service results diverged from one-shot runs"
+
+    # All three templates planned exactly once from scratch; later bindings
+    # went through the validated plan cache, repeats through the result
+    # cache / coalescing.
+    assert scratch["fresh_plans"] == scratch["queries"]
+    assert service["fresh_plans"] == 3
+    assert service["validated_reuses"] >= 1
+    assert service["result_cache_hits"] + service["coalesced"] >= service["queries"] // 3
+    assert service["rejected"] == 0
+
+    speedup = service["speedup"]
+    assert speedup >= MIN_SPEEDUP, (
+        f"service throughput {speedup:.2f}x below the {MIN_SPEEDUP:.2f}x gate "
+        f"({service['qps']:.0f} vs {scratch['qps']:.0f} qps)"
+    )

@@ -15,6 +15,7 @@ comparable to 5% of a 10 GB database.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -582,7 +583,14 @@ def _relations_equal(left: Relation, right: Relation) -> bool:
                 return False
             continue
         a, b = np.asarray(a), np.asarray(b)
-        if a.dtype != b.dtype or not np.array_equal(a, b):
+        if a.dtype != b.dtype:
+            return False
+        # equal_nan on floats: an empty SUM/AVG is NaN on both sides, which
+        # is the identical result (plain array_equal treats NaN != NaN).
+        if a.dtype.kind == "f":
+            if not np.array_equal(a, b, equal_nan=True):
+                return False
+        elif not np.array_equal(a, b):
             return False
     return True
 
@@ -925,4 +933,175 @@ def batched_driver(
         gamma_warm_starts=driver.stats.gamma_warm_starts,
     )
     driver.shutdown()
+    return result
+
+
+def _service_templates():
+    """The parameterized TPC-H template mix the service benchmark serves."""
+    revenue = (
+        QueryBuilder("svc_revenue")
+        .table("customer", "c").table("orders", "o").table("lineitem", "l")
+        .filter_param("c", "c_mktsegment", "=")
+        .filter_param("o", "o_orderdate", "<")
+        .join("c", "c_custkey", "o", "o_custkey")
+        .join("o", "o_orderkey", "l", "l_orderkey")
+        .group_by("o", "o_orderpriority")
+        .aggregate("sum", "l", "l_extendedprice", "revenue")
+        .aggregate("count", output_name="orders")
+        .build()
+    )
+    shipping = (
+        QueryBuilder("svc_shipping")
+        .table("orders", "o").table("lineitem", "l")
+        .filter_param("o", "o_orderpriority", "=")
+        .filter_param("l", "l_shipmode", "=")
+        .join("o", "o_orderkey", "l", "l_orderkey")
+        .aggregate("sum", "l", "l_extendedprice", "value")
+        .aggregate("count", output_name="lines")
+        .build()
+    )
+    parts = (
+        QueryBuilder("svc_parts")
+        .table("part", "p").table("lineitem", "l").table("supplier", "s")
+        .filter_param("p", "p_container", "=")
+        .filter_param("l", "l_quantity", "<=")
+        .join("p", "p_partkey", "l", "l_partkey")
+        .join("s", "s_suppkey", "l", "l_suppkey")
+        .aggregate("count", output_name="shipped")
+        .build()
+    )
+    from repro.workloads.tpch import CONTAINERS, MARKET_SEGMENTS, ORDER_PRIORITIES, SHIP_MODES
+
+    bindings = {
+        "svc_revenue": [
+            ["BUILDING", 1400], ["MACHINERY", 900], ["AUTOMOBILE", 1900],
+        ],
+        "svc_shipping": [
+            ["1-URGENT", "AIR"], ["5-LOW", "RAIL"], ["2-HIGH", "SHIP"],
+        ],
+        "svc_parts": [
+            ["SM CASE", 25], ["JUMBO PKG", 40], ["MED BAG", 10],
+        ],
+    }
+    assert all(seg in MARKET_SEGMENTS for seg, _ in bindings["svc_revenue"])
+    assert all(p in ORDER_PRIORITIES and m in SHIP_MODES for p, m in bindings["svc_shipping"])
+    assert all(c in CONTAINERS for c, _ in bindings["svc_parts"])
+    return [revenue, shipping, parts], bindings
+
+
+def service_throughput(
+    scale_factor: float = TPCH_SCALE_FACTOR,
+    sampling_ratio: float = TPCH_SAMPLING_RATIO,
+    concurrency: int = 8,
+    repeats_per_binding: int = 5,
+    seed: int = 17,
+) -> ExperimentResult:
+    """Queries/second: from-scratch planning vs the full query service.
+
+    A parameterized TPC-H template mix (three templates x three binding sets,
+    each repeated) is served at ``concurrency`` client threads in two modes
+    over the same database and scheduler configuration:
+
+    * **from_scratch** — every execution pays parse-free but full Algorithm 1
+      planning plus execution (the service with both caches disabled);
+    * **service** — the full stack: epoch-stamped result cache, sampling-
+      validated plan cache, admission control.
+
+    The contract asserted here (and gated by the benchmark wrapper) is
+    ``>= 3x`` queries/second at concurrency 8 with bit-identical results for
+    every (template, binding) pair.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service import QueryService, ServiceSettings
+
+    db = generate_tpch_database(
+        scale_factor=scale_factor, seed=seed, sampling_ratio=sampling_ratio
+    )
+    templates, bindings_by_name = _service_templates()
+    rng = np.random.default_rng(seed)
+    mix = []
+    for template in templates:
+        for binding_index, binding in enumerate(bindings_by_name[template.name]):
+            mix.extend(
+                (template, binding_index, binding) for _ in range(repeats_per_binding)
+            )
+    order = rng.permutation(len(mix))
+    mix = [mix[i] for i in order]
+
+    def run_mode(settings: ServiceSettings):
+        service = QueryService(db, settings=settings)
+        outputs = {}
+        outputs_lock = threading.Lock()
+
+        def serve(item):
+            index, (template, binding_index, binding) = item
+            result = service.execute(
+                template, binding, client=f"client{index % concurrency}"
+            )
+            with outputs_lock:
+                outputs[(template.name, binding_index)] = result.execution.columns
+            return result.source
+
+        try:
+            started = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=concurrency) as pool:
+                sources = list(pool.map(serve, enumerate(mix)))
+            elapsed = time.perf_counter() - started
+            stats = service.stats
+            admission = service.admission_stats()
+        finally:
+            service.close()
+        return elapsed, outputs, sources, stats, admission
+
+    scratch_settings = ServiceSettings(
+        use_plan_cache=False, use_result_cache=False,
+        max_concurrent=concurrency, max_queued=len(mix),
+    )
+    service_settings = ServiceSettings(
+        max_concurrent=concurrency, max_queued=len(mix),
+    )
+    scratch_elapsed, scratch_outputs, _, scratch_stats, _ = run_mode(scratch_settings)
+    service_elapsed, service_outputs, service_sources, service_stats, admission = run_mode(
+        service_settings
+    )
+
+    bit_identical = all(
+        _relations_equal(scratch_outputs[key], service_outputs[key])
+        for key in scratch_outputs
+    )
+    scratch_qps = len(mix) / max(scratch_elapsed, 1e-9)
+    service_qps = len(mix) / max(service_elapsed, 1e-9)
+
+    result = ExperimentResult(
+        experiment="service_throughput",
+        description=(
+            f"From-scratch planning vs QueryService at concurrency {concurrency} "
+            f"({len(mix)} executions over {len(templates)} parameterized TPC-H templates)"
+        ),
+        columns=[
+            "mode", "queries", "wall_s", "qps", "speedup", "bit_identical",
+            "fresh_plans", "validated_reuses", "drift_replans",
+            "result_cache_hits", "coalesced", "rejected", "max_queue_depth",
+        ],
+    )
+    result.add_row(
+        mode="from_scratch", queries=len(mix), wall_s=scratch_elapsed,
+        qps=scratch_qps, speedup=1.0, bit_identical=True,
+        fresh_plans=scratch_stats.fresh_plans, validated_reuses=0,
+        drift_replans=0, result_cache_hits=0, coalesced=0,
+        rejected=scratch_stats.rejected, max_queue_depth=0,
+    )
+    result.add_row(
+        mode="service", queries=len(mix), wall_s=service_elapsed,
+        qps=service_qps, speedup=service_qps / max(scratch_qps, 1e-9),
+        bit_identical=bit_identical,
+        fresh_plans=service_stats.fresh_plans,
+        validated_reuses=service_stats.validated_reuses,
+        drift_replans=service_stats.drift_replans,
+        result_cache_hits=service_stats.result_cache_hits,
+        coalesced=service_stats.coalesced,
+        rejected=service_stats.rejected,
+        max_queue_depth=admission.max_queue_depth,
+    )
     return result

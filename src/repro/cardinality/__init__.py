@@ -5,13 +5,19 @@ from __future__ import annotations
 from repro.cardinality.estimator import CardinalityEstimator
 from repro.cardinality.gamma import Gamma
 from repro.cardinality.join_estimation import equijoin_selectivity
-from repro.cardinality.sampling_estimator import SamplingEstimator
+from repro.cardinality.sampling_estimator import (
+    SamplingEstimator,
+    SamplingValidation,
+    validate_plan_for_bindings,
+)
 from repro.cardinality.selectivity import local_predicate_selectivity
 
 __all__ = [
     "CardinalityEstimator",
     "Gamma",
     "SamplingEstimator",
+    "SamplingValidation",
     "equijoin_selectivity",
     "local_predicate_selectivity",
+    "validate_plan_for_bindings",
 ]

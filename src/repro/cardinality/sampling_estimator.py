@@ -108,6 +108,7 @@ class SamplingEstimator:
         morsel_rows: int = DEFAULT_MORSEL_ROWS,
     ) -> None:
         self.db = db
+        query.ensure_bound()
         self.query = query
         self.samples = samples if samples is not None else db.samples
         if self.samples is None:
@@ -407,3 +408,38 @@ class SamplingEstimator:
         validation.prefix_cache_hits = self.prefix_cache_hits - hits_before
         validation.sample_join_row_ops = self.sample_join_row_ops - row_ops_before
         return validation
+
+
+def validate_plan_for_bindings(
+    db: Database,
+    template: Query,
+    bindings,
+    plan: PlanNode,
+    scheduler: Optional[TaskScheduler] = None,
+    samples: Optional[SampleSet] = None,
+    validate_base_relations: bool = False,
+    morsel_rows: int = DEFAULT_MORSEL_ROWS,
+) -> Tuple[Query, SamplingValidation]:
+    """Validate a cached ``plan`` under *new* parameter ``bindings``.
+
+    This is the paper's sampling validator repurposed as a plan-cache guard
+    (the query service's layer 1): the parameterized ``template`` is bound to
+    the new constants, a fresh estimator runs the cached plan's join sets
+    over the samples *with the new bindings' local predicates applied*, and
+    the resulting Δ is returned next to the bound query.  The caller compares
+    the Δ against the Γ expectations the plan was originally chosen under
+    (see :func:`repro.cardinality.gamma.Gamma` and
+    :meth:`repro.service.QueryService.execute`) to decide whether the cached
+    plan is still supported or must be re-planned.
+
+    ``bindings`` may be ``None`` when ``template`` is already a bound query.
+    """
+    query = template.bind(bindings) if bindings is not None else template
+    query.ensure_bound()
+    estimator = SamplingEstimator(
+        db, query, samples=samples, scheduler=scheduler, morsel_rows=morsel_rows
+    )
+    validation = estimator.validate_plan(
+        plan, validate_base_relations=validate_base_relations
+    )
+    return query, validation

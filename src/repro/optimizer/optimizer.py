@@ -63,6 +63,7 @@ class PlanningSession:
 
     def __init__(self, optimizer: "Optimizer", query: Query) -> None:
         query.validate()
+        query.ensure_bound()
         self.optimizer = optimizer
         self.query = query
         self.use_geqo = len(query.aliases) > optimizer.settings.geqo_threshold
@@ -74,6 +75,32 @@ class PlanningSession:
         self.last_masks_expanded: Optional[int] = None
         #: Join trees examined by the most recent call.
         self.last_join_trees_considered = 0
+
+    def rebind(self, query: Query) -> "PlanningSession":
+        """Re-target the session at a new *binding* of the same template.
+
+        The query service keeps one session per prepared template; when a
+        drift-triggered replan arrives with fresh parameter bindings, the
+        constants — and therefore every selectivity — may have changed, so
+        the DP memo is dropped (its cached costs are stale for the new
+        bindings) and the Γ epoch resets.  What survives is the GEQO seed:
+        the join *structure* is identical across bindings of one template,
+        so the previous binding's winning join order remains an informed
+        starting permutation for the randomized search.
+        """
+        query.validate()
+        query.ensure_bound()
+        if [ref.alias for ref in query.tables] != [ref.alias for ref in self.query.tables]:
+            raise ValueError(
+                "rebind expects a binding of the same template "
+                f"(aliases {self.query.aliases} != {query.aliases})"
+            )
+        self.query = query
+        self._dp_planner = None
+        self._gamma_epoch = 0
+        self.last_masks_expanded = None
+        self.last_join_trees_considered = 0
+        return self
 
     def optimize(self, gamma: Optional[Gamma] = None, materialized=None) -> PlanNode:
         """Plan the session's query under the current Γ.

@@ -28,7 +28,7 @@ from dataclasses import dataclass, replace
 from enum import Enum
 from typing import FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.plans.nodes import AggregateNode, JoinNode, PlanNode
+from repro.plans.nodes import AggregateNode, JoinNode, PlanNode, ScanNode
 
 #: An ordered logical join: (leaves of the left subtree, leaves of the right
 #: subtree), each in left-to-right leaf order — the "encoding" of Appendix E.
@@ -191,6 +191,33 @@ def subtree_for(plan: PlanNode, relations: Iterable[str]) -> Optional[PlanNode]:
         if frozenset(node.relations) == wanted:
             return node
     return None
+
+
+def rebind_plan(plan: PlanNode, query) -> PlanNode:
+    """The same plan *shape* with scan predicates taken from ``query``.
+
+    A cached parameterized plan embeds the constants of the binding it was
+    produced for — its scan nodes filter on the *old* literals.  Executing it
+    for a new binding of the same template therefore requires rebinding:
+    every scan keeps its access path (method, index column) but swaps its
+    predicate list for the bound query's local predicates on that alias.
+    Join structure, join methods and the aggregation block are untouched —
+    they are binding-independent — and the optimizer's row/cost estimates are
+    kept as-is (they describe the binding the plan was chosen under; the
+    sampling validator, not the estimates, decides whether that choice still
+    stands).
+    """
+    if isinstance(plan, AggregateNode) and plan.child is not None:
+        return replace(plan, child=rebind_plan(plan.child, query))
+    if isinstance(plan, JoinNode) and plan.left is not None and plan.right is not None:
+        return replace(
+            plan,
+            left=rebind_plan(plan.left, query),
+            right=rebind_plan(plan.right, query),
+        )
+    if isinstance(plan, ScanNode):
+        return replace(plan, predicates=tuple(query.local_predicates_for(plan.alias)))
+    return plan
 
 
 def replace_subtrees(

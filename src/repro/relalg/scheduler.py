@@ -87,6 +87,7 @@ class TaskScheduler:
         self.workers = default_worker_count() if workers is None else max(1, int(workers))
         self.name = name
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._closed = False
         self._lock = threading.Lock()
         self._in_worker = threading.local()
         self._current_account = threading.local()
@@ -101,8 +102,12 @@ class TaskScheduler:
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
-    def _ensure_pool(self) -> ThreadPoolExecutor:
+    def _ensure_pool(self) -> Optional[ThreadPoolExecutor]:
         with self._lock:
+            if self._closed:
+                # A terminally-closed scheduler never respawns workers; the
+                # caller degrades to the inline path.
+                return None
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
                     max_workers=self.workers, thread_name_prefix=f"{self.name}-morsel"
@@ -110,17 +115,43 @@ class TaskScheduler:
             return self._pool
 
     def shutdown(self) -> None:
-        """Stop the worker threads (the scheduler can be reused afterwards)."""
+        """Stop the worker threads (the scheduler can be reused afterwards).
+
+        Idempotent and thread-safe: calling it any number of times — or
+        concurrently — parks the pool exactly once; the pool respawns lazily
+        on the next parallel ``map`` unless the scheduler was :meth:`close`d.
+        """
         with self._lock:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
 
+    def close(self) -> None:
+        """Shut down *terminally*: no worker thread is ever spawned again.
+
+        After ``close`` the scheduler still accepts ``map`` calls but runs
+        them inline on the caller — the graceful-degradation path — so an
+        error path that closes a shared scheduler can never deadlock callers
+        or leak a lazily respawned pool.  Idempotent, like :meth:`shutdown`.
+        """
+        with self._lock:
+            self._closed = True
+        self.shutdown()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran; the pool will not respawn."""
+        with self._lock:
+            return self._closed
+
     def __enter__(self) -> "TaskScheduler":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self.shutdown()
+        # Context-managed schedulers are scoped to the block: leaving it —
+        # normally or through an exception — must not leave threads behind
+        # nor allow a later stray ``map`` to respawn them.
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Task execution
@@ -128,7 +159,7 @@ class TaskScheduler:
     @property
     def parallel(self) -> bool:
         """True when this scheduler actually runs tasks on worker threads."""
-        return self.workers > 1
+        return self.workers > 1 and not self._closed
 
     def accounting(self, label: Optional[str]):
         """Context manager attributing tasks submitted inside it to ``label``.
@@ -194,6 +225,8 @@ class TaskScheduler:
             return self._run_inline(fn, items, account)
 
         pool = self._ensure_pool()
+        if pool is None:  # closed concurrently: degrade to inline execution
+            return self._run_inline(fn, items, account)
         with self._lock:
             self._tasks_submitted += len(items)
             self._queue_depth += len(items)

@@ -35,7 +35,7 @@ from typing import List, Optional
 from repro.cardinality.gamma import Gamma
 from repro.cardinality.sampling_estimator import SamplingEstimator
 from repro.errors import SamplingError
-from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.optimizer import Optimizer, PlanningSession
 from repro.optimizer.settings import OptimizerSettings
 from repro.plans.join_tree import classify_transformation, plans_identical
 from repro.plans.nodes import PlanNode
@@ -119,7 +119,12 @@ class Reoptimizer:
     # ------------------------------------------------------------------ #
     # The loop
     # ------------------------------------------------------------------ #
-    def reoptimize(self, query: Query, gamma: Optional[Gamma] = None) -> ReoptimizationResult:
+    def reoptimize(
+        self,
+        query: Query,
+        gamma: Optional[Gamma] = None,
+        session: Optional["PlanningSession"] = None,
+    ) -> ReoptimizationResult:
         """Run Algorithm 1 on ``query`` and return the full result.
 
         Termination (besides the round/time budgets) happens when either
@@ -134,13 +139,21 @@ class Reoptimizer:
         ``gamma`` may carry pre-validated cardinalities (the workload driver
         shares Γ between identically-fingerprinted queries); it is mutated in
         place, exactly as Algorithm 1 writes ``Γ ← Γ ∪ Δ``.
+
+        ``session`` may be a caller-held :class:`PlanningSession` already
+        targeting ``query`` (the query service re-plans a template through
+        the session it keeps per template, carrying GEQO seed orders across
+        parameter bindings); by default a fresh session is opened.
         """
         if self.db.samples is None:
             self.db.create_samples(
                 ratio=self.settings.sampling_ratio, seed=self.settings.sampling_seed
             )
         sampler = SamplingEstimator(self.db, query, scheduler=self.scheduler)
-        session = self.optimizer.planning_session(query)
+        if session is None:
+            session = self.optimizer.planning_session(query)
+        elif session.query is not query:
+            raise ValueError("caller-provided planning session targets a different query")
 
         gamma = gamma if gamma is not None else Gamma()
         report = ReoptimizationReport(query_name=query.name)

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cardinality.gamma import Gamma
@@ -58,52 +58,21 @@ from repro.reopt.algorithm import (
     Reoptimizer,
 )
 from repro.sql.ast import Query
+
+# The plan-cache keys are the *shared* normalized fingerprints (also used by
+# the query service's template cache): constants are normalized by value, so
+# two queries differing only in a literal never share a plan, while spelling
+# differences (``5`` vs ``5.0``, IN-list order) never split the cache.
+from repro.sql.fingerprint import plan_fingerprint, statistics_fingerprint
 from repro.storage.catalog import Database
 
-
-# --------------------------------------------------------------------------- #
-# Query fingerprints
-# --------------------------------------------------------------------------- #
-def _value_key(value: object) -> str:
-    if isinstance(value, (list, tuple, set, frozenset)):
-        return "(" + ",".join(sorted(repr(v) for v in value)) + ")"
-    return repr(value)
-
-
-def statistics_fingerprint(query: Query) -> Tuple:
-    """Key under which two queries may share validated cardinalities (Γ).
-
-    Covers everything the sampling validator sees: table references, local
-    predicates and join predicates.  Aggregations/projections are excluded —
-    they do not affect any join-set cardinality.
-    """
-    tables = tuple(sorted((ref.alias, ref.table) for ref in query.tables))
-    locals_ = tuple(
-        sorted((p.alias, p.column, p.op, _value_key(p.value)) for p in query.local_predicates)
-    )
-    joins = tuple(
-        sorted(
-            (p.left_alias, p.left_column, p.right_alias, p.right_column)
-            for p in (predicate.normalized() for predicate in query.join_predicates)
-        )
-    )
-    return (tables, locals_, joins)
-
-
-def plan_fingerprint(query: Query) -> Tuple:
-    """Key under which two queries produce identical re-optimization results.
-
-    Extends the statistics fingerprint with the output block (projections,
-    aggregates, group-by), which shapes the final plan's aggregation node.
-    The query *name* is deliberately excluded: workload instances named
-    ``q3_i0`` / ``q3_i1`` with the same body are duplicates.
-    """
-    aggregates = tuple(
-        (a.func, a.alias, a.column, a.output_name) for a in query.aggregates
-    )
-    group_by = tuple((c.alias, c.column) for c in query.group_by)
-    projections = tuple((c.alias, c.column) for c in query.projections)
-    return statistics_fingerprint(query) + (aggregates, group_by, projections)
+__all__ = [
+    "DriverSettings",
+    "DriverStats",
+    "WorkloadDriver",
+    "plan_fingerprint",
+    "statistics_fingerprint",
+]
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,45 @@
+"""The query service layer: prepared statements served through a
+sampling-validated plan cache, an epoch-stamped result cache and client-fair
+admission control (see :mod:`repro.service.service`)."""
+
+from __future__ import annotations
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionStats,
+    BackpressureError,
+)
+from repro.service.cache import (
+    PlanCacheEntry,
+    ResultCache,
+    ResultCacheStats,
+    max_drift,
+)
+from repro.service.service import (
+    QueryService,
+    ServiceResult,
+    ServiceSettings,
+    ServiceStats,
+)
+from repro.service.templates import (
+    PreparedStatement,
+    StatementRegistry,
+    prepare_statement,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "BackpressureError",
+    "PlanCacheEntry",
+    "PreparedStatement",
+    "QueryService",
+    "ResultCache",
+    "ResultCacheStats",
+    "ServiceResult",
+    "ServiceSettings",
+    "ServiceStats",
+    "StatementRegistry",
+    "max_drift",
+    "prepare_statement",
+]

@@ -1,0 +1,244 @@
+"""Admission control for the query service.
+
+The service executes on a shared morsel pool
+(:class:`~repro.relalg.TaskScheduler`); admitting an unbounded number of
+concurrent queries would just thrash that pool and grow latency without
+bound.  The :class:`AdmissionController` in front of it provides:
+
+* a **concurrency bound** — at most ``max_concurrent`` queries hold an
+  execution slot at a time;
+* a **bounded wait queue** — at most ``max_queued`` callers may wait for a
+  slot; beyond that, callers are rejected immediately with
+  :class:`BackpressureError` (fail fast beats queueing collapse);
+* **per-client fairness** — waiting callers are granted slots round-robin
+  *across clients* (FIFO within a client), so one chatty client cannot
+  starve the rest however many requests it floods in;
+* **backpressure statistics** — admitted/rejected counts, the queue's
+  high-water mark and per-client tallies, surfaced through the service's
+  stats endpoint.
+
+The controller is synchronous (callers block in ``admit``) because the
+service's execution path is synchronous; the fairness schedule is computed
+under the controller's lock, so grants are deterministic given the arrival
+order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, Optional, Set, Tuple
+
+#: Per-client stat maps are folded into an ``<other>`` bucket beyond this
+#: many distinct clients, so per-request client ids cannot grow the stats
+#: without bound in a long-lived server.
+PER_CLIENT_STATS_CAP = 1024
+
+
+class BackpressureError(RuntimeError):
+    """Raised when the wait queue is full and a request must be shed."""
+
+
+@dataclass
+class AdmissionStats:
+    """Counters of the admission controller."""
+
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    max_queue_depth: int = 0
+    max_in_flight: int = 0
+    per_client_admitted: Dict[str, int] = field(default_factory=dict)
+    per_client_rejected: Dict[str, int] = field(default_factory=dict)
+
+
+class AdmissionController:
+    """Bounded, client-fair gate in front of the execution pool."""
+
+    def __init__(self, max_concurrent: int = 4, max_queued: int = 64) -> None:
+        self.max_concurrent = max(1, int(max_concurrent))
+        self.max_queued = max(0, int(max_queued))
+        self._lock = threading.Lock()
+        self._slots_available = threading.Condition(self._lock)
+        self._in_flight = 0
+        #: Waiting tickets per client, FIFO.  ``OrderedDict`` keeps client
+        #: registration order stable for the round-robin rotation.
+        self._queues: "OrderedDict[str, Deque[int]]" = OrderedDict()
+        #: Round-robin cursor: the client *after* which the next grant scans.
+        self._rotation: Deque[str] = deque()
+        #: Tickets that have been granted a slot but not yet picked up.
+        self._granted: Set[int] = set()
+        self._next_ticket = 0
+        self.stats = AdmissionStats()
+
+    # ------------------------------------------------------------------ #
+    # Internal scheduling (callers hold the lock)
+    # ------------------------------------------------------------------ #
+    def _queued_count(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def _grant_next(self) -> None:
+        """Hand free slots to waiting tickets, round-robin across clients."""
+        while self._in_flight + len(self._granted) < self.max_concurrent:
+            granted = False
+            for _ in range(len(self._rotation)):
+                client = self._rotation[0]
+                self._rotation.rotate(-1)
+                queue = self._queues.get(client)
+                if queue:
+                    self._granted.add(queue.popleft())
+                    granted = True
+                    break
+            if not granted:
+                break
+        self._prune_idle_clients()
+        if self._granted:
+            self._slots_available.notify_all()
+
+    def _prune_idle_clients(self) -> None:
+        """Drop clients with no waiting tickets from the scheduling state.
+
+        Client names may be per-connection (or even per-request) ids; keeping
+        every name ever seen would grow ``_queues``/``_rotation`` without
+        bound and make each grant scan all of history.  A pruned client is
+        simply re-registered on its next ``acquire``.
+        """
+        idle = [client for client, queue in self._queues.items() if not queue]
+        for client in idle:
+            del self._queues[client]
+        if idle:
+            idle_set = set(idle)
+            self._rotation = deque(c for c in self._rotation if c not in idle_set)
+
+    def _register_client(self, client: str) -> Deque[int]:
+        queue = self._queues.get(client)
+        if queue is None:
+            queue = deque()
+            self._queues[client] = queue
+            self._rotation.append(client)
+        return queue
+
+    def _bump_client_stat(self, per_client: Dict[str, int], client: str) -> None:
+        if client not in per_client and len(per_client) >= PER_CLIENT_STATS_CAP:
+            client = "<other>"
+        per_client[client] = per_client.get(client, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def acquire(self, client: str = "default", timeout: Optional[float] = None) -> None:
+        """Block until an execution slot is granted (fairly) to ``client``.
+
+        Raises
+        ------
+        BackpressureError
+            If the wait queue is at capacity, or the optional ``timeout``
+            expires before a slot is granted.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            if (
+                self._in_flight + len(self._granted) < self.max_concurrent
+                and self._queued_count() == 0
+            ):
+                # Fast path: free slot, nobody waiting — no ticket needed.
+                # Granted-but-unclaimed tickets still reserve their slots.
+                self._in_flight += 1
+                self.stats.admitted += 1
+                self.stats.max_in_flight = max(self.stats.max_in_flight, self._in_flight)
+                self._bump_client_stat(self.stats.per_client_admitted, client)
+                return
+            if self._queued_count() >= self.max_queued:
+                self.stats.rejected += 1
+                self._bump_client_stat(self.stats.per_client_rejected, client)
+                raise BackpressureError(
+                    f"admission queue full ({self.max_queued} waiting); "
+                    f"client {client!r} shed"
+                )
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            queue = self._register_client(client)
+            queue.append(ticket)
+            self.stats.max_queue_depth = max(self.stats.max_queue_depth, self._queued_count())
+            self._grant_next()
+            while ticket not in self._granted:
+                # The deadline is absolute: notify_all wakes every waiter on
+                # each grant, so a passed-over waiter re-waits only for the
+                # *remaining* time, keeping the documented cap a real cap.
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0.0:
+                    expired = True
+                else:
+                    expired = not self._slots_available.wait(timeout=remaining)
+                if expired and ticket not in self._granted:
+                    # Timed out: withdraw the ticket wherever it is.
+                    try:
+                        queue.remove(ticket)
+                    except ValueError:  # pragma: no cover - defensive
+                        pass
+                    self._prune_idle_clients()
+                    self.stats.rejected += 1
+                    self._bump_client_stat(self.stats.per_client_rejected, client)
+                    raise BackpressureError(
+                        f"client {client!r} timed out waiting for an execution slot"
+                    )
+            self._granted.discard(ticket)
+            self._in_flight += 1
+            self.stats.admitted += 1
+            self.stats.max_in_flight = max(self.stats.max_in_flight, self._in_flight)
+            self._bump_client_stat(self.stats.per_client_admitted, client)
+
+    def release(self) -> None:
+        """Return an execution slot and wake the next fair waiter."""
+        with self._lock:
+            self._in_flight = max(0, self._in_flight - 1)
+            self.stats.completed += 1
+            self._grant_next()
+
+    @contextmanager
+    def admit(self, client: str = "default", timeout: Optional[float] = None) -> Iterator[None]:
+        """``with controller.admit(client): execute(...)`` — acquire/release."""
+        self.acquire(client, timeout=timeout)
+        try:
+            yield
+        finally:
+            self.release()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    @property
+    def queued(self) -> int:
+        with self._lock:
+            return self._queued_count()
+
+    def snapshot(self) -> Tuple[int, int]:
+        """(in_flight, queued) under one lock acquisition."""
+        with self._lock:
+            return self._in_flight, self._queued_count()
+
+    def stats_snapshot(self) -> AdmissionStats:
+        """A consistent, independent copy of the counters.
+
+        ``self.stats`` is the live object mutated under the controller lock;
+        handing it to a monitoring thread would let its per-client dicts
+        change size mid-iteration.  Readers get this copy instead.
+        """
+        with self._lock:
+            return AdmissionStats(
+                admitted=self.stats.admitted,
+                rejected=self.stats.rejected,
+                completed=self.stats.completed,
+                max_queue_depth=self.stats.max_queue_depth,
+                max_in_flight=self.stats.max_in_flight,
+                per_client_admitted=dict(self.stats.per_client_admitted),
+                per_client_rejected=dict(self.stats.per_client_rejected),
+            )

@@ -1,0 +1,145 @@
+"""The service's two caches: results and validated plans.
+
+**Result cache** — a bounded LRU keyed on ``(template fingerprint, binding
+key, table-epoch snapshot)``.  The epoch snapshot
+(:meth:`repro.storage.catalog.Database.epoch_snapshot`) is part of the key,
+so invalidation is free: bumping any referenced table's epoch makes every
+later lookup miss, and the stale lines age out through the LRU bound.  An
+explicit ``invalidate_table`` sweep is provided for callers that want the
+memory back immediately.
+
+**Plan cache** — one :class:`PlanCacheEntry` per template, holding the plan
+Algorithm 1 converged to for some binding, the Γ *expectations* it was
+validated under (join set → sampled cardinality) and the planning session
+that produced it.  The entry is what the sampling validator guards: a new
+binding's Δ is compared against ``expectations`` and the plan is reused only
+while the drift stays under the service's threshold.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+# Note: per-template serialization of validation/replan lives in the
+# service's ``_template_locks`` map, not on the entries themselves.
+
+from repro.cardinality.gamma import JoinSet
+from repro.executor.executor import ExecutionResult
+from repro.optimizer.optimizer import PlanningSession
+from repro.plans.nodes import PlanNode
+from repro.sql.ast import Query
+
+
+@dataclass
+class ResultCacheStats:
+    """Hit/miss/eviction counters of the result cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+
+class ResultCache:
+    """Bounded LRU of executed results, epoch-stamped against staleness."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = max(0, int(max_entries))
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple, ExecutionResult]" = OrderedDict()
+        self.stats = ResultCacheStats()
+
+    @staticmethod
+    def key(template_fingerprint: Tuple, binding: Tuple, epochs: Tuple) -> Tuple:
+        return (template_fingerprint, binding, epochs)
+
+    def get(self, key: Tuple) -> Optional[ExecutionResult]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def put(self, key: Tuple, result: ExecutionResult) -> None:
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate_table(self, table: str) -> int:
+        """Drop every line whose epoch snapshot mentions ``table``.
+
+        Epoch-stamped keys make this optional for correctness (a bumped
+        epoch can never be hit again); sweeping reclaims the memory now.
+        """
+        with self._lock:
+            stale = [
+                key
+                for key in self._entries
+                if any(name == table for name, _ in key[2])
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.stats.invalidations += len(stale)
+            return len(stale)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+@dataclass
+class PlanCacheEntry:
+    """The cached, sampling-guarded plan of one prepared template."""
+
+    #: The plan Algorithm 1 converged to for ``bound_query``'s bindings.
+    plan: PlanNode
+    #: The bound query the plan was produced for (the *reference* binding).
+    bound_query: Query
+    #: Γ expectations the plan was validated under: join set → sampled
+    #: cardinality at planning time.  The drift guard compares each new
+    #: binding's sampled Δ against these.
+    expectations: Dict[JoinSet, float] = field(default_factory=dict)
+    #: The incremental planning session that produced (and re-plans) the
+    #: template's plans; kept so GEQO templates carry their winning join
+    #: order across bindings (see ``PlanningSession.rebind``).
+    session: Optional[PlanningSession] = None
+    #: How many executions reused this plan (validated or unguarded).
+    reuses: int = 0
+    #: How many binding validations ran against the entry.
+    validations: int = 0
+    #: How many validations rejected the plan (drift → replan).
+    rejections: int = 0
+
+
+def max_drift(
+    expectations: Dict[JoinSet, float],
+    observed: Dict[JoinSet, float],
+) -> float:
+    """The largest deviation factor between expected and observed Δ entries.
+
+    Deviation is the symmetric ratio ``max(e, o) / min(e, o)`` with both
+    sides floored at one row (1.0 = spot on, like the adaptive executor's
+    :func:`~repro.reopt.adaptive.deviation_factor`).  Join sets present in
+    only one of the two mappings are skipped — an unvalidatable join set
+    (no sample support) must not force a replan by itself.
+    """
+    worst = 1.0
+    for join_set, observed_value in observed.items():
+        expected_value = expectations.get(join_set)
+        if expected_value is None:
+            continue
+        expected = max(float(expected_value), 1.0)
+        actual = max(float(observed_value), 1.0)
+        worst = max(worst, max(expected, actual) / min(expected, actual))
+    return worst

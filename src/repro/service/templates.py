@@ -1,0 +1,115 @@
+"""Prepared-statement templates.
+
+A :class:`PreparedStatement` is the unit the query service caches around: a
+parameterized query (``?`` / ``:name`` placeholders in literal positions),
+normalized into a *template fingerprint* that identifies the statement up to
+its parameter slots.  Two clients preparing the same SQL text — or the same
+:class:`~repro.sql.builder.QueryBuilder` shape with different spellings of
+the baked-in constants — share one template, one plan-cache line and one
+result-cache family.
+
+Binding produces a plain bound :class:`~repro.sql.ast.Query` (every
+parameter replaced by a constant) plus the canonical *binding key* the
+result cache uses.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.sql.ast import Bindings, Parameter, Query
+from repro.sql.fingerprint import binding_key, template_fingerprint
+from repro.sql.parser import parse_query
+
+
+@dataclass(frozen=True)
+class PreparedStatement:
+    """A normalized, fingerprinted prepared statement."""
+
+    #: Client-facing statement name (defaults to the query's name).
+    name: str
+    #: The parameterized (or constant-only) query template.
+    query: Query
+    #: Normalized identity of the template (parameter slots abstracted).
+    fingerprint: Tuple = field(repr=False)
+
+    @property
+    def parameters(self) -> List[Parameter]:
+        """The template's parameter slots, in appearance order."""
+        return self.query.parameters()
+
+    @property
+    def num_parameters(self) -> int:
+        return len(self.parameters)
+
+    @property
+    def tables(self) -> List[str]:
+        """Base tables the statement reads (for epoch snapshots)."""
+        return sorted({ref.table for ref in self.query.tables})
+
+    def bind(self, bindings: Optional[Bindings] = None, name: Optional[str] = None) -> Query:
+        """A bound, executable query for one set of parameter values."""
+        if bindings is None:
+            bindings = ()
+        return self.query.bind(bindings, name=name if name is not None else self.name)
+
+    def binding_key(self, bindings: Optional[Bindings] = None) -> Tuple:
+        """Canonical result-cache key component for ``bindings``."""
+        return binding_key(self.query, bindings if bindings is not None else ())
+
+
+def prepare_statement(
+    statement: Union[str, Query, PreparedStatement], name: Optional[str] = None
+) -> PreparedStatement:
+    """Normalize SQL text / a query / an existing statement into a template."""
+    if isinstance(statement, PreparedStatement):
+        return statement
+    if isinstance(statement, str):
+        query = parse_query(statement, name=name or "prepared")
+    else:
+        query = statement
+        query.validate()
+    return PreparedStatement(
+        name=name or query.name,
+        query=query,
+        fingerprint=template_fingerprint(query),
+    )
+
+
+class StatementRegistry:
+    """Thread-safe, bounded registry deduplicating templates by fingerprint.
+
+    Preparing the same statement twice (any client, any spelling) returns
+    the *first* registration, so every per-template cache keyed off the
+    registry sees one line per distinct template.  The registry is an LRU
+    bounded by ``max_entries``: ad-hoc constant-only SQL creates one
+    template per distinct literal set, and a long-lived server must not
+    accumulate those forever (an evicted template is simply re-prepared on
+    its next use).
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        self.max_entries = max(1, int(max_entries))
+        self._lock = threading.Lock()
+        self._by_fingerprint: "OrderedDict" = OrderedDict()
+
+    def register(
+        self, statement: Union[str, Query, PreparedStatement], name: Optional[str] = None
+    ) -> PreparedStatement:
+        prepared = prepare_statement(statement, name=name)
+        with self._lock:
+            existing = self._by_fingerprint.get(prepared.fingerprint)
+            if existing is not None:
+                self._by_fingerprint.move_to_end(prepared.fingerprint)
+                return existing
+            self._by_fingerprint[prepared.fingerprint] = prepared
+            while len(self._by_fingerprint) > self.max_entries:
+                self._by_fingerprint.popitem(last=False)
+            return prepared
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._by_fingerprint)

@@ -18,8 +18,8 @@ the query and consumed by the optimizer's dynamic-programming search.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple, Union
 
 import networkx as nx
 
@@ -33,6 +33,78 @@ COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=", "in", "between")
 
 #: Aggregate functions supported by the aggregation block.
 AGGREGATE_FUNCS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A placeholder for a constant bound at execution time.
+
+    Prepared statements (:mod:`repro.service`) carry parameters where plain
+    queries carry literals: ``?`` placeholders are *positional* (``index``
+    assigned left to right), ``:name`` placeholders are *named* and may
+    appear several times, all occurrences sharing one binding.  A parameter
+    may stand anywhere a literal stands — a comparison right-hand side, an
+    ``IN`` list element or a ``BETWEEN`` bound.
+    """
+
+    index: Optional[int] = None
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if (self.index is None) == (self.name is None):
+            raise ParseError("a parameter is either positional (index) or named, not both")
+
+    @property
+    def key(self) -> Union[int, str]:
+        """The binding key: the position for ``?``, the name for ``:name``."""
+        return self.name if self.name is not None else self.index  # type: ignore[return-value]
+
+    @classmethod
+    def positional(cls, index: int) -> "Parameter":
+        """The ``index``-th ``?`` placeholder (0-based)."""
+        return cls(index=index)
+
+    @classmethod
+    def named(cls, name: str) -> "Parameter":
+        """A ``:name`` placeholder."""
+        return cls(name=name)
+
+    def __str__(self) -> str:
+        return f":{self.name}" if self.name is not None else "?"
+
+
+#: Parameter bindings: a sequence (positional) or a mapping keyed by the
+#: parameter's :attr:`Parameter.key` (position or name).
+Bindings = Union[Sequence[object], Mapping[Union[int, str], object]]
+
+
+def _contains_parameter(value: object) -> bool:
+    if isinstance(value, Parameter):
+        return True
+    if isinstance(value, (list, tuple)):
+        return any(_contains_parameter(item) for item in value)
+    return False
+
+
+def _parameters_in(value: object) -> List[Parameter]:
+    if isinstance(value, Parameter):
+        return [value]
+    if isinstance(value, (list, tuple)):
+        found: List[Parameter] = []
+        for item in value:
+            found.extend(_parameters_in(item))
+        return found
+    return []
+
+
+def _substitute(value: object, resolved: Mapping[Union[int, str], object]) -> object:
+    if isinstance(value, Parameter):
+        return resolved[value.key]
+    if isinstance(value, tuple):
+        return tuple(_substitute(item, resolved) for item in value)
+    if isinstance(value, list):
+        return [_substitute(item, resolved) for item in value]
+    return value
 
 
 @dataclass(frozen=True)
@@ -176,6 +248,79 @@ class Query:
         for aggregate in self.aggregates:
             if aggregate.alias is not None and aggregate.alias not in known:
                 raise ParseError(f"aggregate references unknown alias {aggregate.alias!r}")
+
+    # ------------------------------------------------------------------ #
+    # Parameters (prepared statements)
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> List[Parameter]:
+        """All parameter placeholders, deduplicated, in appearance order.
+
+        Positional parameters appear once per ``?``; a named parameter
+        appears once however many times ``:name`` occurs.
+        """
+        seen: Dict[Union[int, str], Parameter] = {}
+        for predicate in self.local_predicates:
+            for parameter in _parameters_in(predicate.value):
+                seen.setdefault(parameter.key, parameter)
+        return list(seen.values())
+
+    @property
+    def is_parameterized(self) -> bool:
+        """True when at least one predicate value is an unbound parameter."""
+        return any(_contains_parameter(p.value) for p in self.local_predicates)
+
+    def ensure_bound(self) -> None:
+        """Raise :class:`ParseError` if any parameter is still unbound.
+
+        Planning, sampling and execution all require concrete constants;
+        callers holding a parameterized template must :meth:`bind` first.
+        """
+        if self.is_parameterized:
+            unbound = ", ".join(str(p) for p in self.parameters())
+            raise ParseError(
+                f"query {self.name!r} has unbound parameters ({unbound}); "
+                "bind them before planning or executing"
+            )
+
+    def bind(self, bindings: Bindings, name: Optional[str] = None) -> "Query":
+        """Return a copy with every parameter replaced by its binding.
+
+        ``bindings`` is a sequence (positional parameters, by index) or a
+        mapping keyed by parameter key (position or name).  Missing or
+        surplus bindings raise :class:`ParseError`.
+        """
+        parameters = self.parameters()
+        if isinstance(bindings, Mapping):
+            resolved = dict(bindings)
+        else:
+            resolved = {index: value for index, value in enumerate(bindings)}
+        wanted = {parameter.key for parameter in parameters}
+        missing = sorted((key for key in wanted if key not in resolved), key=str)
+        if missing:
+            raise ParseError(
+                f"missing bindings for parameters {missing} of query {self.name!r}"
+            )
+        surplus = sorted((key for key in resolved if key not in wanted), key=str)
+        if surplus:
+            raise ParseError(
+                f"unknown parameter bindings {surplus} for query {self.name!r}"
+            )
+        bound = Query(
+            tables=list(self.tables),
+            local_predicates=[
+                replace(p, value=_substitute(p.value, resolved))
+                if _contains_parameter(p.value)
+                else p
+                for p in self.local_predicates
+            ],
+            join_predicates=list(self.join_predicates),
+            projections=list(self.projections),
+            aggregates=list(self.aggregates),
+            group_by=list(self.group_by),
+            name=name if name is not None else self.name,
+        )
+        bound.validate()
+        return bound
 
     @property
     def aliases(self) -> List[str]:

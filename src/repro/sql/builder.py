@@ -29,6 +29,7 @@ from repro.sql.ast import (
     ColumnRef,
     JoinPredicate,
     LocalPredicate,
+    Parameter,
     Query,
     TableRef,
 )
@@ -45,6 +46,7 @@ class QueryBuilder:
         self._projections: List[ColumnRef] = []
         self._aggregates: List[Aggregate] = []
         self._group_by: List[ColumnRef] = []
+        self._positional_parameters = 0
 
     def table(self, table: str, alias: Optional[str] = None) -> "QueryBuilder":
         """Add a relation to the FROM clause."""
@@ -61,6 +63,25 @@ class QueryBuilder:
         self.filter(alias, column, ">=", low)
         self.filter(alias, column, "<=", high)
         return self
+
+    def param(self, name: Optional[str] = None) -> Parameter:
+        """A parameter placeholder to pass as a filter value.
+
+        With ``name`` the parameter is named (all same-name occurrences share
+        one binding); without, a fresh positional parameter is allocated in
+        call order, matching the ``?`` numbering of the SQL parser.
+        """
+        if name is not None:
+            return Parameter.named(name)
+        parameter = Parameter.positional(self._positional_parameters)
+        self._positional_parameters += 1
+        return parameter
+
+    def filter_param(
+        self, alias: str, column: str, op: str, name: Optional[str] = None
+    ) -> "QueryBuilder":
+        """Add a parameterized local predicate ``alias.column op <parameter>``."""
+        return self.filter(alias, column, op, self.param(name))
 
     def join(
         self, left_alias: str, left_column: str, right_alias: str, right_column: str

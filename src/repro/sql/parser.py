@@ -8,16 +8,23 @@ The grammar (case-insensitive keywords)::
     item       := column | agg '(' (column | '*') ')' [AS name]
     table_list := table [AS? alias] (',' table [AS? alias])*
     conjunction:= condition (AND condition)*
-    condition  := column op (literal | column)
-                | column IN '(' literal (',' literal)* ')'
-                | column BETWEEN literal AND literal
+    condition  := column op (value | column)
+                | column IN '(' value (',' value)* ')'
+                | column BETWEEN value AND value
     column     := [alias '.'] name
+    value      := literal | '?' | ':' name
     op         := '=' | '<>' | '!=' | '<' | '<=' | '>' | '>='
 
 A condition comparing two columns of different relations becomes a join
 predicate; a condition against a literal becomes a local predicate.  This is
 exactly the "selection + equi-join conjunction" shape of Equation (2)/(4) in
 the paper, plus the aggregates needed for the TPC-H-style templates.
+
+``?`` and ``:name`` placeholders parse to :class:`repro.sql.ast.Parameter`
+markers wherever a literal may stand — the prepared-statement templates the
+query service (:mod:`repro.service`) binds per execution.  Positional ``?``
+parameters are numbered left to right; every occurrence of one ``:name``
+shares a single binding.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from repro.sql.ast import (
     ColumnRef,
     JoinPredicate,
     LocalPredicate,
+    Parameter,
     Query,
     TableRef,
 )
@@ -39,7 +47,8 @@ _TOKEN_PATTERN = re.compile(
     r"""
     \s*(
         <=|>=|<>|!=|=|<|>         # operators
-      | \(|\)|,|\*|\.             # punctuation
+      | \(|\)|,|\*|\.|\?          # punctuation / positional placeholder
+      | :[A-Za-z_][A-Za-z_0-9]*   # named placeholder
       | '(?:[^']*)'               # single-quoted string
       | -?\d+\.\d+                # float literal
       | -?\d+                     # int literal
@@ -109,7 +118,25 @@ class _TokenStream:
         return self._pos >= len(self._tokens)
 
 
-def _parse_literal(token: str) -> object:
+class _ParameterCounter:
+    """Assigns positional indexes to ``?`` placeholders, left to right."""
+
+    def __init__(self) -> None:
+        self.next_index = 0
+
+    def positional(self) -> Parameter:
+        parameter = Parameter.positional(self.next_index)
+        self.next_index += 1
+        return parameter
+
+
+def _parse_literal(token: str, parameters: Optional[_ParameterCounter] = None) -> object:
+    if token == "?":
+        if parameters is None:
+            raise ParseError("positional parameter '?' not allowed here")
+        return parameters.positional()
+    if token.startswith(":") and len(token) > 1:
+        return Parameter.named(token[1:])
     if token.startswith("'") and token.endswith("'"):
         return token[1:-1]
     try:
@@ -207,6 +234,7 @@ def parse_query(text: str, name: str = "query") -> Query:
     # --- WHERE clause ------------------------------------------------------ #
     local_predicates: List[LocalPredicate] = []
     join_predicates: List[JoinPredicate] = []
+    parameter_counter = _ParameterCounter()
     if stream.accept("where"):
         while True:
             left_alias, left_column = _parse_column(stream)
@@ -218,7 +246,7 @@ def parse_query(text: str, name: str = "query") -> Query:
                 stream.expect("(")
                 values = []
                 while True:
-                    values.append(_parse_literal(stream.next()))
+                    values.append(_parse_literal(stream.next(), parameter_counter))
                     if not stream.accept(","):
                         break
                 stream.expect(")")
@@ -228,9 +256,9 @@ def parse_query(text: str, name: str = "query") -> Query:
                     )
                 )
             elif op.lower() == "between":
-                low = _parse_literal(stream.next())
+                low = _parse_literal(stream.next(), parameter_counter)
                 stream.expect("and")
-                high = _parse_literal(stream.next())
+                high = _parse_literal(stream.next(), parameter_counter)
                 local_predicates.append(
                     LocalPredicate(
                         alias=left_alias, column=left_column, op="between", value=(low, high)
@@ -256,7 +284,7 @@ def parse_query(text: str, name: str = "query") -> Query:
                         )
                     )
                 else:
-                    value = _parse_literal(stream.next())
+                    value = _parse_literal(stream.next(), parameter_counter)
                     local_predicates.append(
                         LocalPredicate(alias=left_alias, column=left_column, op=op, value=value)
                     )

@@ -16,6 +16,7 @@ exactly as a DBA must run ``ANALYZE`` before expecting decent plans.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.errors import CatalogError, StatisticsError
@@ -36,6 +37,16 @@ class Database:
         self.statistics: Dict[str, "object"] = {}
         #: Sample tables used by the sampling estimator.
         self.samples: Optional[SampleSet] = None
+        #: Monotone counter driving the per-table epochs below.
+        self._epoch_counter: int = 0
+        #: Table name -> epoch of its last data change (create/replace/drop/
+        #: explicit bump).  Cached query *results* derived from a table are
+        #: valid exactly as long as its epoch is unchanged — the query
+        #: service's result cache keys on a snapshot of these.  Guarded by
+        #: ``_epoch_lock``: a lost update between two concurrent bumps would
+        #: let an intervening snapshot alias the post-change state.
+        self._table_epochs: Dict[str, int] = {}
+        self._epoch_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Tables
@@ -45,6 +56,7 @@ class Database:
         if table.name in self._tables and not replace:
             raise CatalogError(f"table {table.name!r} already exists in database {self.name!r}")
         self._tables[table.name] = table
+        self.bump_table_epoch(table.name)
         if replace:
             # Invalidate anything derived from the replaced table.
             self.statistics.pop(table.name, None)
@@ -61,6 +73,7 @@ class Database:
         if name not in self._tables:
             raise CatalogError(f"cannot drop unknown table {name!r}")
         del self._tables[name]
+        self.bump_table_epoch(name)
         self.statistics.pop(name, None)
         for key in [k for k in self._hash_indexes if k[0] == name]:
             del self._hash_indexes[key]
@@ -87,6 +100,38 @@ class Database:
     def tables(self) -> Mapping[str, Table]:
         """Read-only view of the table mapping."""
         return dict(self._tables)
+
+    # ------------------------------------------------------------------ #
+    # Table epochs (result-cache invalidation)
+    # ------------------------------------------------------------------ #
+    def bump_table_epoch(self, name: str) -> int:
+        """Advance ``name``'s epoch (its data changed); returns the new epoch.
+
+        Called automatically by :meth:`create_table` / :meth:`drop_table`;
+        call it explicitly after mutating a table's columns in place so the
+        query service's result cache cannot serve stale rows.
+        """
+        with self._epoch_lock:
+            self._epoch_counter += 1
+            self._table_epochs[name] = self._epoch_counter
+            return self._epoch_counter
+
+    def table_epoch(self, name: str) -> int:
+        """The epoch of ``name``'s last data change (0 if never registered)."""
+        with self._epoch_lock:
+            return self._table_epochs.get(name, 0)
+
+    def epoch_snapshot(self, names: Iterable[str]) -> Tuple[Tuple[str, int], ...]:
+        """A hashable snapshot of the epochs of ``names`` (sorted by name).
+
+        A cached result stamped with this snapshot is valid exactly while
+        every referenced table's epoch is unchanged: any bump makes later
+        snapshots differ, so the stale cache line can never be hit again.
+        """
+        with self._epoch_lock:
+            return tuple(
+                sorted((name, self._table_epochs.get(name, 0)) for name in set(names))
+            )
 
     # ------------------------------------------------------------------ #
     # Indexes

@@ -38,6 +38,32 @@ class TestFingerprints:
         second = make_ott_query(db, [0, 1, 1, 0, 0])
         assert statistics_fingerprint(first) != statistics_fingerprint(second)
 
+    def test_literal_only_difference_never_shares_a_plan(self, db):
+        """Regression for the plan-cache keying: two queries identical except
+        for one predicate constant must be distinct cache lines — driver-level
+        check on top of the shared fingerprint utility's unit tests."""
+        first = make_ott_query(db, [0, 0, 0, 0, 0], name="lit_a")
+        second = make_ott_query(db, [0, 0, 0, 0, 2], name="lit_b")
+        assert plan_fingerprint(first) != plan_fingerprint(second)
+        driver = WorkloadDriver(db, settings=DriverSettings(max_workers=1))
+        driver.run([first, second])
+        assert driver.stats.plan_cache_hits == 0
+        assert driver.stats.queries_reoptimized == 2
+
+    def test_numeric_spelling_shares_the_cache_line(self, db):
+        """The normalized keys collapse 0 vs 0.0 — same semantics, one plan."""
+        float_constants = QueryBuilder("floats")
+        for index in range(1, 6):
+            value = 1.0 if index == 5 else 0.0
+            float_constants.table(f"r{index}").filter(f"r{index}", "a", "=", value)
+        for index in range(1, 5):
+            float_constants.join(f"r{index}", "b", f"r{index + 1}", "b")
+        float_query = float_constants.aggregate("count", output_name="c").build()
+        int_query_counted = make_ott_query(db, [0, 0, 0, 0, 1], name="ints_c")
+        assert statistics_fingerprint(float_query) == statistics_fingerprint(
+            int_query_counted
+        )
+
     def test_aggregates_only_affect_plan_fingerprint(self, db):
         base = (
             QueryBuilder("a").table("r1").table("r2").join("r1", "b", "r2", "b")

@@ -1,0 +1,162 @@
+"""Admission control: bounds, backpressure, per-client fairness."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service.admission import AdmissionController, BackpressureError
+
+
+class TestBounds:
+    def test_fast_path_admits_up_to_capacity(self):
+        controller = AdmissionController(max_concurrent=2, max_queued=0)
+        controller.acquire("a")
+        controller.acquire("b")
+        assert controller.in_flight == 2
+        with pytest.raises(BackpressureError):
+            controller.acquire("c")
+        controller.release()
+        controller.acquire("c")
+        assert controller.in_flight == 2
+
+    def test_queue_full_rejection_and_stats(self):
+        controller = AdmissionController(max_concurrent=1, max_queued=1)
+        controller.acquire("a")
+
+        entered = threading.Event()
+        released = threading.Event()
+
+        def waiter():
+            with controller.admit("b"):
+                entered.set()
+                released.wait(timeout=5)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        # Wait until the waiter occupies the single queue slot.
+        while controller.queued < 1 and not entered.is_set():
+            time.sleep(0.001)
+        with pytest.raises(BackpressureError):
+            controller.acquire("c")
+        assert controller.stats.rejected == 1
+        assert controller.stats.per_client_rejected["c"] == 1
+        controller.release()  # waiter takes the slot
+        assert entered.wait(timeout=5)
+        released.set()
+        thread.join(timeout=5)
+        assert controller.stats.admitted == 2
+        assert controller.stats.max_queue_depth == 1
+
+    def test_timeout_sheds_the_waiter(self):
+        controller = AdmissionController(max_concurrent=1, max_queued=4)
+        controller.acquire("a")
+        with pytest.raises(BackpressureError, match="timed out"):
+            controller.acquire("b", timeout=0.02)
+        controller.release()
+        # The withdrawn ticket must not block later admissions.
+        controller.acquire("b")
+        assert controller.in_flight == 1
+
+    def test_timeout_is_a_deadline_not_per_wakeup(self):
+        """Repeated passed-over wakeups must not restart the timeout clock."""
+        controller = AdmissionController(max_concurrent=1, max_queued=8)
+        controller.acquire("holder")
+        churn_stop = threading.Event()
+
+        def churn():
+            # Keep notifying the condition without ever freeing the slot for
+            # the timed waiter (grant + immediate re-acquire by this thread).
+            while not churn_stop.is_set():
+                with controller._lock:
+                    controller._slots_available.notify_all()
+                time.sleep(0.01)
+
+        churner = threading.Thread(target=churn)
+        churner.start()
+        started = time.monotonic()
+        try:
+            with pytest.raises(BackpressureError, match="timed out"):
+                controller.acquire("victim", timeout=0.1)
+        finally:
+            churn_stop.set()
+            churner.join(timeout=5)
+        assert time.monotonic() - started < 2.0
+        controller.release()
+
+    def test_idle_clients_are_pruned_from_scheduling_state(self):
+        """Per-request client ids must not accumulate in the rotation."""
+        controller = AdmissionController(max_concurrent=2, max_queued=4)
+        for index in range(50):
+            with controller.admit(f"req-{index}"):
+                pass
+        assert len(controller._queues) == 0
+        assert len(controller._rotation) == 0
+        # Fast-path admissions never register; force a queued one and drain.
+        controller.acquire("a")
+        controller.acquire("b")
+        done = threading.Event()
+
+        def waiter():
+            with controller.admit("queued-client"):
+                done.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        while controller.queued < 1:
+            time.sleep(0.001)
+        controller.release()
+        assert done.wait(timeout=5)
+        thread.join(timeout=5)
+        assert len(controller._queues) == 0
+        assert len(controller._rotation) == 0
+        controller.release()
+
+    def test_context_manager_releases_on_error(self):
+        controller = AdmissionController(max_concurrent=1, max_queued=0)
+        with pytest.raises(RuntimeError, match="boom"):
+            with controller.admit("a"):
+                raise RuntimeError("boom")
+        assert controller.in_flight == 0
+        controller.acquire("a")  # slot is free again
+
+
+class TestFairness:
+    def test_round_robin_across_clients(self):
+        """With one slot and clients A (many waiters) and B (one), B must be
+        granted ahead of A's backlog — round-robin, not FIFO."""
+        controller = AdmissionController(max_concurrent=1, max_queued=10)
+        controller.acquire("holder")
+
+        order = []
+        order_lock = threading.Lock()
+        threads = []
+
+        def run(client):
+            with controller.admit(client):
+                with order_lock:
+                    order.append(client)
+
+        # Three A-waiters enqueue first, then one B-waiter.
+        for index in range(3):
+            thread = threading.Thread(target=run, args=("a",))
+            thread.start()
+            threads.append(thread)
+            while controller.queued < index + 1:
+                time.sleep(0.001)
+        thread_b = threading.Thread(target=run, args=("b",))
+        thread_b.start()
+        threads.append(thread_b)
+        while controller.queued < 4:
+            time.sleep(0.001)
+
+        controller.release()  # free the held slot; waiters drain one by one
+        for thread in threads:
+            thread.join(timeout=5)
+        assert len(order) == 4
+        # B is granted second (after one A), not last behind A's whole backlog.
+        assert order[1] == "b" or order[0] == "b"
+        assert controller.stats.admitted == 5
+        assert controller.in_flight == 0

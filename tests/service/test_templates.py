@@ -1,0 +1,83 @@
+"""Prepared-statement templates and the statement registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.service.templates import StatementRegistry, prepare_statement
+from repro.sql.builder import QueryBuilder
+from repro.sql.parser import parse_query
+
+
+def _builder_template(name="tpl"):
+    return (
+        QueryBuilder(name)
+        .table("orders", "o")
+        .table("items", "i")
+        .join("o", "o_id", "i", "i_order")
+        .filter_param("o", "o_priority", "=")
+        .aggregate("count", output_name="n")
+        .build()
+    )
+
+
+class TestPreparedStatement:
+    def test_prepare_from_sql(self):
+        prepared = prepare_statement(
+            "SELECT count(*) AS n FROM orders o, items i "
+            "WHERE o.o_id = i.i_order AND o.o_priority = ?",
+            name="by_priority",
+        )
+        assert prepared.name == "by_priority"
+        assert prepared.num_parameters == 1
+        assert prepared.tables == ["items", "orders"]
+
+    def test_bind_produces_executable_query(self):
+        prepared = prepare_statement(_builder_template())
+        bound = prepared.bind(["HIGH"])
+        assert not bound.is_parameterized
+        bound.ensure_bound()
+
+    def test_bind_missing_parameter_raises(self):
+        prepared = prepare_statement(_builder_template())
+        with pytest.raises(ParseError):
+            prepared.bind([])
+
+    def test_binding_key_distinguishes_bindings(self):
+        prepared = prepare_statement(_builder_template())
+        assert prepared.binding_key(["HIGH"]) != prepared.binding_key(["LOW"])
+        assert prepared.binding_key(["HIGH"]) == prepared.binding_key(["HIGH"])
+
+
+class TestStatementRegistry:
+    def test_registry_deduplicates_by_fingerprint(self):
+        registry = StatementRegistry()
+        first = registry.register(_builder_template("a"))
+        second = registry.register(_builder_template("b"))
+        assert first is second
+        assert len(registry) == 1
+
+    def test_sql_and_builder_share_a_line(self):
+        registry = StatementRegistry()
+        built = registry.register(_builder_template())
+        parsed = registry.register(
+            parse_query(
+                "SELECT count(*) AS n FROM orders o, items i "
+                "WHERE o.o_id = i.i_order AND o.o_priority = ?"
+            )
+        )
+        assert built is parsed
+
+    def test_distinct_templates_get_distinct_lines(self):
+        registry = StatementRegistry()
+        registry.register(_builder_template())
+        other = (
+            QueryBuilder("other")
+            .table("orders", "o")
+            .filter_param("o", "o_priority", "=")
+            .aggregate("count", output_name="n")
+            .build()
+        )
+        registry.register(other)
+        assert len(registry) == 2

@@ -1,0 +1,101 @@
+"""Placeholder parameters: parsing, binding, builder support."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.ast import Parameter
+from repro.sql.builder import QueryBuilder
+from repro.sql.parser import parse_query
+
+
+class TestParameterParsing:
+    def test_positional_parameters_numbered_left_to_right(self):
+        query = parse_query(
+            "SELECT count(*) FROM orders o WHERE o.o_priority = ? AND o.o_customer = ?"
+        )
+        parameters = query.parameters()
+        assert [p.index for p in parameters] == [0, 1]
+        assert query.is_parameterized
+
+    def test_named_parameters_shared_across_occurrences(self):
+        query = parse_query(
+            "SELECT count(*) FROM items i "
+            "WHERE i.i_quantity >= :q AND i.i_part = :p AND i.i_order = :q"
+        )
+        assert sorted(p.name for p in query.parameters()) == ["p", "q"]
+
+    def test_parameters_in_in_list_and_between(self):
+        query = parse_query(
+            "SELECT count(*) FROM items i "
+            "WHERE i.i_part IN (1, ?, :x) AND i.i_quantity BETWEEN ? AND :hi"
+        )
+        keys = [p.key for p in query.parameters()]
+        assert keys == [0, "x", 1, "hi"]
+
+    def test_question_mark_on_join_side_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM orders o, items i WHERE ? = i.i_order")
+
+    def test_unbound_query_refuses_planning(self):
+        query = parse_query("SELECT count(*) FROM orders o WHERE o.o_customer = ?")
+        with pytest.raises(ParseError, match="unbound parameters"):
+            query.ensure_bound()
+
+
+class TestBinding:
+    def _template(self):
+        return parse_query(
+            "SELECT count(*) FROM orders o "
+            "WHERE o.o_priority = ? AND o.o_customer BETWEEN :lo AND :hi"
+        )
+
+    def test_bind_positional_and_named(self):
+        bound = self._template().bind({0: "HIGH", "lo": 2, "hi": 9})
+        assert not bound.is_parameterized
+        values = {(p.op): p.value for p in bound.local_predicates}
+        assert values["="] == "HIGH"
+        assert values["between"] == (2, 9)
+
+    def test_bind_sequence_covers_positional(self):
+        query = parse_query(
+            "SELECT count(*) FROM orders o WHERE o.o_priority = ? AND o.o_customer = ?"
+        )
+        bound = query.bind(["LOW", 3])
+        assert [p.value for p in bound.local_predicates] == ["LOW", 3]
+
+    def test_missing_binding_raises(self):
+        with pytest.raises(ParseError, match="missing bindings"):
+            self._template().bind({0: "HIGH", "lo": 2})
+
+    def test_surplus_binding_raises(self):
+        with pytest.raises(ParseError, match="unknown parameter bindings"):
+            self._template().bind({0: "HIGH", "lo": 2, "hi": 9, "oops": 1})
+
+    def test_bind_leaves_template_untouched(self):
+        template = self._template()
+        template.bind({0: "HIGH", "lo": 2, "hi": 9})
+        assert template.is_parameterized
+
+
+class TestBuilderParameters:
+    def test_filter_param_positional_and_named(self):
+        builder = QueryBuilder("t").table("orders", "o")
+        query = (
+            builder
+            .filter_param("o", "o_priority", "=")
+            .filter_param("o", "o_customer", ">=", name="lo")
+            .filter_param("o", "o_total", "<", )
+            .build()
+        )
+        keys = [p.key for p in query.parameters()]
+        assert keys == [0, "lo", 1]
+        bound = query.bind({0: "HIGH", "lo": 5, 1: 100.0})
+        assert not bound.is_parameterized
+
+    def test_parameter_constructor_validation(self):
+        with pytest.raises(ParseError):
+            Parameter()
+        with pytest.raises(ParseError):
+            Parameter(index=0, name="x")
