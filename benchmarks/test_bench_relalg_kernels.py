@@ -40,8 +40,12 @@ MIN_SPEEDUP = float(os.environ.get("RELALG_BENCH_MIN_SPEEDUP", "2.0"))
 
 #: Workers for the morsel-runtime benchmark and the required
 #: parallel-over-serial wall-clock speedup at that worker count.  The gate
-#: only applies on machines with enough cores to possibly meet it (the
-#: bit-identity assertions apply everywhere); CI runs this with 4 workers.
+#: runs *unconditionally*: hosts with fewer cores than the requested worker
+#: count run a reduced 2-worker pool against a proportionally scaled gate
+#: (``PARALLEL_MIN_SPEEDUP × min(workers, cores) / PARALLEL_WORKERS``) —
+#: on a 1-core box that is a regression bound (parallel must stay within
+#: ~2.7× of serial), on 4+ cores the full speedup requirement.  CI runs
+#: this with 4 workers on 4-vCPU runners.
 PARALLEL_WORKERS = int(os.environ.get("RELALG_BENCH_WORKERS", "4"))
 PARALLEL_MIN_SPEEDUP = float(os.environ.get("RELALG_PARALLEL_MIN_SPEEDUP", "1.5"))
 
@@ -213,33 +217,40 @@ def test_grouped_aggregation_speedup():
 
 def test_parallel_runtime_speedup_and_bit_identity(benchmark):
     """The morsel runtime's 4-join star pipeline: parallel must be bit-identical
-    to serial everywhere, and ≥1.5× faster at 4 workers where the hardware
-    can deliver it (the gate is skipped on boxes with fewer cores than
-    workers; the BENCH_parallel_runtime.json artifact records the measured
-    ratio either way)."""
+    to serial everywhere, and the speedup gate holds *unconditionally* —
+    full-worker speedup on capable hardware, a reduced 2-worker pool against
+    a proportionally scaled gate on small hosts (never skipped, so a runtime
+    regression fails CI on every machine; ``BENCH_parallel_runtime.json``
+    records the measured ratio, percentiles and overhead either way)."""
     from conftest import run_once
 
     from repro.bench.experiments import parallel_runtime
 
-    result = run_once(benchmark, parallel_runtime, workers=PARALLEL_WORKERS)
+    cores = os.cpu_count() or 1
+    workers = PARALLEL_WORKERS if cores >= PARALLEL_WORKERS else 2
+    # Scale by the share of the requested pool the host can actually run in
+    # parallel: 4 cores → the full gate, 2 cores → half, 1 core → a pure
+    # regression bound (process-pool overhead must stay modest).
+    gate = PARALLEL_MIN_SPEEDUP * min(workers, cores) / PARALLEL_WORKERS
+
+    result = run_once(benchmark, parallel_runtime, workers=workers)
     assert all(row["bit_identical"] for row in result.rows), (
         "parallel runtime output diverged from serial"
     )
     total = next(row for row in result.rows if row["stage"] == "total")
-    assert total["max_queue_depth"] >= PARALLEL_WORKERS, (
+    assert total["max_queue_depth"] >= workers, (
         "scheduler never saw enough concurrent morsel tasks to use the pool"
     )
-    cores = os.cpu_count() or 1
-    if cores >= PARALLEL_WORKERS:
-        assert total["speedup"] >= PARALLEL_MIN_SPEEDUP, (
-            f"parallel runtime only {total['speedup']:.2f}x faster than serial "
-            f"at {PARALLEL_WORKERS} workers on {cores} cores"
-        )
-    else:
-        print(
-            f"\n(speedup gate skipped: {cores} cores < {PARALLEL_WORKERS} workers; "
-            f"measured {total['speedup']:.2f}x)"
-        )
+    print(
+        f"\nparallel runtime at {workers} workers on {cores} cores: "
+        f"{total['speedup']:.2f}x vs serial (gate {gate:.2f}x, "
+        f"p50 {total['p50_s'] * 1e3:.0f} ms, p95 {total['p95_s'] * 1e3:.0f} ms, "
+        f"overhead {total['overhead_fraction'] * 100:.1f}%)"
+    )
+    assert total["speedup"] >= gate, (
+        f"parallel runtime regression: {total['speedup']:.2f}x vs serial at "
+        f"{workers} workers on {cores} cores is below the scaled gate {gate:.2f}x"
+    )
 
 
 def test_validate_plan_row_ops_below_seed():

@@ -15,9 +15,10 @@ comparable to 5% of a 10 GB database.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -655,13 +656,31 @@ def parallel_runtime(
             joined, [ColumnRef("f", "g")], aggregates, scheduler=scheduler
         )
 
-    def best_seconds(fn) -> float:
-        best = float("inf")
+    def timed_samples(fn) -> List[float]:
+        samples = []
         for _ in range(max(1, repeats)):
             started = time.perf_counter()
             fn()
-            best = min(best, time.perf_counter() - started)
-        return best
+            samples.append(time.perf_counter() - started)
+        return samples
+
+    host_cores = os.cpu_count() or 1
+
+    def timed_parallel(fn, scheduler: TaskScheduler) -> Tuple[List[float], float]:
+        """Per-repeat wall samples plus the stage's per-task overhead fraction.
+
+        Overhead is the share of usable pool capacity — wall-clock times the
+        *effective* worker count (a 4-worker pool on a 1-core host can only
+        ever use 1 core) — not spent inside task bodies: queueing, descriptor
+        pickling and result transport.  The adaptive morsel sizer drives this
+        same quantity below its 5% target per stage.
+        """
+        before = scheduler.stats().busy_seconds
+        samples = timed_samples(fn)
+        busy = scheduler.stats().busy_seconds - before
+        capacity = sum(samples) * max(1, min(workers, host_cores))
+        overhead = max(0.0, capacity - busy) / capacity if capacity > 0 else 0.0
+        return samples, overhead
 
     scheduler = TaskScheduler(workers=workers, name="bench")
     serial_joined = run_joins(None)
@@ -671,12 +690,16 @@ def parallel_runtime(
     parallel_grouped = run_aggregate(serial_joined, scheduler)
     agg_identical = _relations_equal(serial_grouped, parallel_grouped)
 
-    join_serial_s = best_seconds(lambda: run_joins(None))
-    join_parallel_s = best_seconds(lambda: run_joins(scheduler))
-    agg_serial_s = best_seconds(lambda: run_aggregate(serial_joined, None))
-    agg_parallel_s = best_seconds(lambda: run_aggregate(serial_joined, scheduler))
+    join_serial = timed_samples(lambda: run_joins(None))
+    join_parallel, join_overhead = timed_parallel(
+        lambda: run_joins(scheduler), scheduler
+    )
+    agg_serial = timed_samples(lambda: run_aggregate(serial_joined, None))
+    agg_parallel, agg_overhead = timed_parallel(
+        lambda: run_aggregate(serial_joined, scheduler), scheduler
+    )
     scheduler_stats = scheduler.stats()
-    scheduler.shutdown()
+    scheduler.close()
 
     result = ExperimentResult(
         experiment="parallel_runtime",
@@ -685,41 +708,60 @@ def parallel_runtime(
             f"({num_joins}-join star pipeline, {fact_rows} fact rows)"
         ),
         columns=[
-            "stage", "workers", "serial_s", "parallel_s", "speedup",
+            "stage", "workers", "host_cores", "serial_s", "parallel_s",
+            "p50_s", "p95_s", "speedup", "overhead_fraction",
             "bit_identical", "rows_out", "max_queue_depth",
         ],
     )
-    result.add_row(
-        stage=f"{num_joins}join_hash",
-        workers=workers,
-        serial_s=join_serial_s,
-        parallel_s=join_parallel_s,
-        speedup=join_serial_s / max(join_parallel_s, 1e-12),
-        bit_identical=joins_identical,
-        rows_out=serial_joined.num_rows,
-        max_queue_depth=scheduler_stats.max_queue_depth,
+
+    def add_stage(
+        stage: str,
+        serial_samples: List[float],
+        parallel_samples: List[float],
+        overhead: float,
+        identical: bool,
+        rows_out: int,
+    ) -> None:
+        serial_s = min(serial_samples)
+        parallel_s = min(parallel_samples)
+        result.add_row(
+            stage=stage,
+            workers=workers,
+            host_cores=host_cores,
+            serial_s=serial_s,
+            parallel_s=parallel_s,
+            p50_s=float(np.percentile(parallel_samples, 50)),
+            p95_s=float(np.percentile(parallel_samples, 95)),
+            speedup=serial_s / max(parallel_s, 1e-12),
+            overhead_fraction=overhead,
+            bit_identical=identical,
+            rows_out=rows_out,
+            max_queue_depth=scheduler_stats.max_queue_depth,
+        )
+
+    add_stage(
+        f"{num_joins}join_hash", join_serial, join_parallel, join_overhead,
+        joins_identical, serial_joined.num_rows,
     )
-    result.add_row(
-        stage="group_aggregate",
-        workers=workers,
-        serial_s=agg_serial_s,
-        parallel_s=agg_parallel_s,
-        speedup=agg_serial_s / max(agg_parallel_s, 1e-12),
-        bit_identical=agg_identical,
-        rows_out=serial_grouped.num_rows,
-        max_queue_depth=scheduler_stats.max_queue_depth,
+    add_stage(
+        "group_aggregate", agg_serial, agg_parallel, agg_overhead,
+        agg_identical, serial_grouped.num_rows,
     )
-    total_serial = join_serial_s + agg_serial_s
-    total_parallel = join_parallel_s + agg_parallel_s
-    result.add_row(
-        stage="total",
-        workers=workers,
-        serial_s=total_serial,
-        parallel_s=total_parallel,
-        speedup=total_serial / max(total_parallel, 1e-12),
-        bit_identical=joins_identical and agg_identical,
-        rows_out=serial_joined.num_rows,
-        max_queue_depth=scheduler_stats.max_queue_depth,
+    # Total overhead: capacity-weighted combination of the stage fractions.
+    join_wall, agg_wall = sum(join_parallel), sum(agg_parallel)
+    total_wall = join_wall + agg_wall
+    total_overhead = (
+        (join_wall * join_overhead + agg_wall * agg_overhead) / total_wall
+        if total_wall > 0
+        else 0.0
+    )
+    add_stage(
+        "total",
+        [j + a for j, a in zip(join_serial, agg_serial)],
+        [j + a for j, a in zip(join_parallel, agg_parallel)],
+        total_overhead,
+        joins_identical and agg_identical,
+        serial_joined.num_rows,
     )
     return result
 

@@ -21,7 +21,7 @@ configuration by fitting the five cost units against the executor
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.cardinality.gamma import Gamma
 from repro.cost.calibration import calibrate_cost_units
@@ -88,7 +88,7 @@ def run_query_suite(
     execute_plans: bool = True,
     concurrency: int = 1,
     driver_settings: Optional[DriverSettings] = None,
-    workers: int = 1,
+    workers: Union[int, str] = 1,
     morsel_rows: int = DEFAULT_MORSEL_ROWS,
     adaptive_execution: bool = False,
     adaptive_settings: Optional[AdaptiveSettings] = None,
@@ -101,8 +101,10 @@ def run_query_suite(
 
     ``workers > 1`` attaches one shared morsel scheduler to the *whole*
     pipeline — plan execution, sampling validation and the driver all
-    dispatch morsel tasks into the same ``workers``-sized pool.  Results are
-    bit-identical to ``workers=1``; only wall-clock changes.
+    dispatch morsel tasks into the same ``workers``-sized pool of worker
+    processes.  ``workers="auto"`` sizes the pool by the host (``min(cores
+    - 2, RAM / 4GB)``, floor 1).  Results are bit-identical to
+    ``workers=1``; only wall-clock changes.
 
     ``adaptive_execution=True`` additionally executes each query's
     *original* (static) plan through the :class:`AdaptiveExecutor` — true
@@ -111,7 +113,11 @@ def run_query_suite(
     per-query record.
     """
     optimizer = Optimizer(db, settings=optimizer_settings)
-    scheduler = TaskScheduler(workers=workers, name="suite") if workers > 1 else None
+    scheduler = (
+        TaskScheduler(workers=workers, name="suite")
+        if workers == "auto" or (isinstance(workers, int) and workers > 1)
+        else None
+    )
     executor = Executor(
         db,
         cost_units=optimizer.settings.cost_units,
@@ -223,7 +229,7 @@ def run_query_suite(
             )
         )
     if scheduler is not None:
-        scheduler.shutdown()
+        scheduler.close()
     return records
 
 

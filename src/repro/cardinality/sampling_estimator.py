@@ -177,6 +177,7 @@ class SamplingEstimator:
             self.query.local_predicates_for(alias),
             self.scheduler,
             self.morsel_rows,
+            stage="sample_filter",
         )
         filtered = filtered.project(f"{alias}.{name}" for name in join_columns)
         self._filtered_cache[alias] = filtered

@@ -32,10 +32,16 @@ three physical-execution concerns on top:
   morsel-at-a-time: scan filters evaluate one morsel task per chunk, hash
   joins run partition-parallel build/probe tasks, and grouped aggregation
   reduces group-aligned chunks, all on the *shared* worker pool (the same
-  pool the sampling validator and the workload driver use).  Every parallel
-  path is bit-identical to its serial counterpart, so the per-node
-  instrumentation (actual cardinalities, resource vectors, simulated cost)
-  is unchanged by the worker count.
+  pool the sampling validator and the workload driver use).  On the default
+  process backend the kernels run on worker *processes* with columns shipped
+  once through ``multiprocessing.shared_memory`` descriptors (zero-copy
+  attach, no GIL contention), and the executor labels each kernel with its
+  pipeline stage (``"filter"``, ``"join"``, ``"aggregate"``) so the
+  scheduler's adaptive morsel sizer can grow chunk sizes per stage until
+  per-task overhead is negligible.  Every parallel path is bit-identical to
+  its serial counterpart, so the per-node instrumentation (actual
+  cardinalities, resource vectors, simulated cost) is unchanged by the
+  worker count.
 """
 
 from __future__ import annotations
@@ -219,7 +225,8 @@ class Executor:
             relation = Relation.from_table(table, alias, load).take(row_ids)
             residual = [p for p in predicates if p is not index_predicate]
             relation = filter_relation(
-                relation, alias, residual, self.scheduler, self.morsel_rows
+                relation, alias, residual, self.scheduler, self.morsel_rows,
+                stage="filter",
             )
             output_rows = relation.num_rows
             resources = self.cost_model.index_scan_resources(
@@ -228,7 +235,8 @@ class Executor:
         else:
             relation = Relation.from_table(table, alias, load)
             relation = filter_relation(
-                relation, alias, predicates, self.scheduler, self.morsel_rows
+                relation, alias, predicates, self.scheduler, self.morsel_rows,
+                stage="filter",
             )
             output_rows = relation.num_rows
             resources = self.cost_model.seq_scan_resources(
@@ -323,6 +331,7 @@ class Executor:
             node.aggregates,
             scheduler=self.scheduler,
             morsel_rows=self.morsel_rows,
+            stage="aggregate",
         )
         output_rows = output.num_rows
         resources = self.cost_model.aggregate_resources(input_rows, output_rows)

@@ -24,6 +24,13 @@ Layout
 ``scheduler``
     The shared morsel-task scheduler (bounded worker pool with ordered,
     deterministic result collection) every parallel kernel dispatches onto.
+    Kernel tasks run on a persistent pool of worker *processes* by default,
+    with adaptive per-stage morsel sizing; coordination tasks stay on
+    threads.
+``shm``
+    The shared-memory column transport of the process runtime: refcounted
+    segment registry, scoped arenas, ``(segment, dtype, offset, length)``
+    descriptors and zero-copy worker-side attachment.
 
 The parallel paths are **bit-identical** to their serial counterparts: task
 results are always merged in deterministic (morsel/partition) order, and
@@ -64,23 +71,48 @@ from repro.relalg.relation import (
     relation_num_rows,
 )
 from repro.relalg.scheduler import (
+    AdaptiveMorselSizer,
     TaskScheduler,
+    default_worker_count,
     get_default_scheduler,
+    resolve_worker_count,
     set_default_scheduler,
+)
+from repro.relalg.shm import (
+    ArrayDescriptor,
+    ColumnDescriptor,
+    RelationDescriptor,
+    SegmentRegistry,
+    ShmArena,
+    attach_array,
+    attach_column,
+    attach_columns,
+    segment_registry,
+    shm_dir_segments,
 )
 
 __all__ = [
+    "AdaptiveMorselSizer",
+    "ArrayDescriptor",
     "ChunkedRelation",
     "ColumnData",
+    "ColumnDescriptor",
     "DEFAULT_MORSEL_ROWS",
     "DictEncodedArray",
     "Relation",
+    "RelationDescriptor",
+    "SegmentRegistry",
+    "ShmArena",
     "TaskScheduler",
     "as_relation",
+    "attach_array",
+    "attach_column",
+    "attach_columns",
     "column_fingerprint",
     "compile_predicate",
     "concat_relations",
     "decode_column",
+    "default_worker_count",
     "factorize_pair",
     "filter_relation",
     "get_default_scheduler",
@@ -93,7 +125,10 @@ __all__ = [
     "parallel_join_indices",
     "predicate_mask",
     "relation_num_rows",
+    "resolve_worker_count",
+    "segment_registry",
     "set_default_scheduler",
+    "shm_dir_segments",
     "slice_column",
     "take_column",
     "value_counts",

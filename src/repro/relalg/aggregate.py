@@ -25,6 +25,7 @@ from repro.errors import ExecutionError
 from repro.relalg.encoding import ColumnData, DictEncodedArray, sort_key, take_column
 from repro.relalg.relation import DEFAULT_MORSEL_ROWS, Relation, as_relation
 from repro.relalg.scheduler import TaskScheduler
+from repro.relalg.shm import attach_array, attach_columns
 from repro.sql.ast import Aggregate, ColumnRef
 
 #: Below this many input rows the parallel aggregation path is not worth the
@@ -125,6 +126,49 @@ def _group_chunks(
     return chunks
 
 
+def _aggregate_chunk_task(payload) -> Dict[str, np.ndarray]:
+    """Kernel task body: reduce one group-aligned chunk (worker process).
+
+    The payload carries shared-memory descriptors for the value columns, the
+    sort order and the group boundary arrays, plus this chunk's group and row
+    windows; the worker attaches zero-copy views, gathers the chunk's sorted
+    values and runs the same per-group ``reduceat`` reductions as the serial
+    path.  Partials are fresh arrays (gather + reduce output), safe to ship
+    back through the result queue.  Must stay a picklable top-level function.
+    """
+    (
+        columns_desc,
+        order_desc,
+        starts_desc,
+        counts_desc,
+        lo,
+        hi,
+        row_lo,
+        row_hi,
+        aggregates,
+    ) = payload
+    columns = attach_columns(columns_desc)
+    order = attach_array(order_desc)
+    group_starts = attach_array(starts_desc)
+    group_counts = attach_array(counts_desc)
+    indices = order[row_lo:row_hi]
+    starts_local = group_starts[lo:hi] - row_lo
+    counts_local = group_counts[lo:hi]
+    gathered: Dict[str, ColumnData] = {}
+    partials: Dict[str, np.ndarray] = {}
+    for aggregate in aggregates:
+        sorted_column: Optional[ColumnData] = None
+        if aggregate.column is not None:
+            name = f"{aggregate.alias}.{aggregate.column}"
+            if name not in gathered:
+                gathered[name] = take_column(columns[name], indices)
+            sorted_column = gathered[name]
+        partials[aggregate.output_name] = _grouped_values(
+            aggregate, sorted_column, starts_local, counts_local
+        )
+    return partials
+
+
 def _parallel_grouped(
     relation: Relation,
     aggregates: Sequence[Aggregate],
@@ -135,6 +179,7 @@ def _parallel_grouped(
     result: Relation,
     scheduler: TaskScheduler,
     morsel_rows: int,
+    stage: Optional[str] = None,
 ) -> Relation:
     """Aggregate values chunk-parallel: per-morsel partials, concatenated merge.
 
@@ -147,6 +192,51 @@ def _parallel_grouped(
     """
     chunks = _group_chunks(group_starts, rows, morsel_rows)
     num_groups = len(group_starts)
+
+    if scheduler.process_parallel and len(chunks) > 1:
+        # Process tier: publish the value columns, sort order and group
+        # boundaries once; each chunk task ships descriptors plus its group
+        # and row windows, and returns its partials.
+        needed = sorted(
+            {
+                f"{aggregate.alias}.{aggregate.column}"
+                for aggregate in aggregates
+                if aggregate.column is not None
+            }
+        )
+        aggregates = tuple(aggregates)
+        with scheduler.new_arena() as arena:
+            columns_desc = tuple(
+                (name, arena.share_column(relation[name])) for name in needed
+            )
+            order_desc = arena.share_array(order)
+            starts_desc = arena.share_array(group_starts)
+            counts_desc = arena.share_array(group_counts)
+            payloads = []
+            for lo, hi in chunks:
+                row_lo = int(group_starts[lo])
+                row_hi = int(group_starts[hi]) if hi < num_groups else rows
+                payloads.append(
+                    (
+                        columns_desc,
+                        order_desc,
+                        starts_desc,
+                        counts_desc,
+                        lo,
+                        hi,
+                        row_lo,
+                        row_hi,
+                        aggregates,
+                    )
+                )
+            chunk_partials = scheduler.map_kernel(
+                _aggregate_chunk_task, payloads, stage=stage
+            )
+        for aggregate in aggregates:
+            result[aggregate.output_name] = np.concatenate(
+                [partials[aggregate.output_name] for partials in chunk_partials]
+            )
+        return result
 
     def run_chunk(chunk: Tuple[int, int]) -> Dict[str, np.ndarray]:
         lo, hi = chunk
@@ -183,17 +273,25 @@ def group_aggregate(
     aggregates: Sequence[Aggregate],
     scheduler: Optional[TaskScheduler] = None,
     morsel_rows: int = DEFAULT_MORSEL_ROWS,
+    stage: Optional[str] = None,
 ) -> Relation:
     """Grouped aggregation over a runtime relation (vectorised).
 
     With a parallel ``scheduler`` and a large enough input, the value
     gathering and per-group reductions run as group-aligned morsel tasks on
-    the shared worker pool; the output is bit-identical to the serial path
-    (see :func:`_parallel_grouped`).  Key grouping (one lexsort) stays
-    serial — it is a single deterministic kernel either way.
+    the shared worker pool — on the process backend as shared-memory kernel
+    tasks (:func:`_aggregate_chunk_task`), otherwise on the thread tier; the
+    output is bit-identical to the serial path either way (see
+    :func:`_parallel_grouped`).  Key grouping (one lexsort) stays serial —
+    it is a single deterministic kernel either way.  A ``stage`` label opts
+    into adaptive morsel sizing: the scheduler grows this stage's chunk rows
+    until per-task overhead is under target (callers that pin an exact
+    ``morsel_rows``, like the bit-identity sweeps, simply omit it).
     """
     relation = as_relation(relation)
     rows = relation.num_rows
+    if scheduler is not None and stage is not None:
+        morsel_rows = scheduler.adaptive_morsel_rows(stage, morsel_rows)
     if not group_by:
         return _global_aggregate(relation, aggregates)
 
@@ -256,6 +354,7 @@ def group_aggregate(
             result,
             scheduler,
             morsel_rows,
+            stage,
         )
     sorted_cache: dict = {}
     for aggregate in aggregates:

@@ -28,6 +28,7 @@ import numpy as np
 from repro.relalg.encoding import ColumnData, codes_against, factorize_pair, take_column
 from repro.relalg.relation import Relation, as_relation
 from repro.relalg.scheduler import TaskScheduler
+from repro.relalg.shm import attach_array
 from repro.sql.ast import JoinPredicate
 
 #: Composite keys stop growing once the combined domain would overflow int64;
@@ -292,20 +293,68 @@ def nested_loop_join(
 # --------------------------------------------------------------------------- #
 # Partition-parallel hash join
 # --------------------------------------------------------------------------- #
-def _radix_partitions(codes: np.ndarray, num_partitions: int) -> List[np.ndarray]:
-    """Row indices of every radix partition (``code % num_partitions``).
+def _radix_order(
+    codes: np.ndarray, num_partitions: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Partition row order and boundaries of ``code % num_partitions``.
 
-    One stable counting sort over the partition ids; each returned index
-    array is ascending, so per-partition matching sees rows in their
-    original relative order — the property the deterministic merge relies on.
+    One stable counting sort over the partition ids: partition ``p``'s row
+    indices are ``order[boundaries[p] : boundaries[p + 1]]``, ascending — so
+    per-partition matching sees rows in their original relative order, the
+    property the deterministic merge relies on.  The flat ``(order,
+    boundaries)`` form is what the process runtime shares: one array in one
+    segment instead of ``P`` pickled index lists.
     """
     parts = codes % num_partitions
     order = np.argsort(parts, kind="stable")
     counts = np.bincount(parts, minlength=num_partitions)
     boundaries = np.concatenate(([0], np.cumsum(counts)))
+    return order, boundaries
+
+
+def _radix_partitions(codes: np.ndarray, num_partitions: int) -> List[np.ndarray]:
+    """Row indices of every radix partition (``code % num_partitions``)."""
+    order, boundaries = _radix_order(codes, num_partitions)
     return [
         order[boundaries[p] : boundaries[p + 1]] for p in range(num_partitions)
     ]
+
+
+def _match_partition_task(payload) -> Tuple[np.ndarray, np.ndarray]:
+    """Kernel task body: build + probe one radix partition (worker process).
+
+    The payload carries :class:`~repro.relalg.shm.ArrayDescriptor` handles
+    for the composite code arrays and the partition orders, plus this
+    partition's boundary window — the worker attaches zero-copy views and
+    runs exactly the serial :func:`hash_match` on the partition's quotient
+    codes.  The returned index pair is a fresh array (fancy-indexing output),
+    so pickling it back is safe regardless of segment lifetime.
+
+    Must stay a picklable top-level function: the process pool ships it by
+    module reference.
+    """
+    (
+        left_codes_desc,
+        right_codes_desc,
+        left_order_desc,
+        right_order_desc,
+        left_lo,
+        left_hi,
+        right_lo,
+        right_hi,
+        num_partitions,
+        quotient_domain,
+    ) = payload
+    left_codes = attach_array(left_codes_desc)
+    right_codes = attach_array(right_codes_desc)
+    left_rows = attach_array(left_order_desc)[left_lo:left_hi]
+    right_rows = attach_array(right_order_desc)[right_lo:right_hi]
+    sub_left, sub_right = hash_match(
+        left_codes[left_rows] // num_partitions,
+        right_codes[right_rows] // num_partitions,
+        quotient_domain,
+    )
+    return left_rows[sub_left], right_rows[sub_right]
 
 
 def parallel_join_indices(
@@ -349,31 +398,56 @@ def parallel_join_indices(
     if num_partitions is None:
         num_partitions = max(2, 2 * scheduler.workers)
     num_partitions = min(num_partitions, max(2, domain))
-    left_partitions = _radix_partitions(left_codes, num_partitions)
-    right_partitions = _radix_partitions(right_codes, num_partitions)
+    left_order, left_bounds = _radix_order(left_codes, num_partitions)
+    right_order, right_bounds = _radix_order(right_codes, num_partitions)
     # Within partition p every code satisfies code % P == p, so the quotient
     # is a bijective re-coding — it keeps per-partition bucket tables at
     # ~domain/P entries instead of each task allocating the full domain.
     quotient_domain = domain // num_partitions + 1
-
-    def match_partition(p: int) -> Tuple[np.ndarray, np.ndarray]:
-        left_rows = left_partitions[p]
-        right_rows = right_partitions[p]
-        if len(left_rows) == 0 or len(right_rows) == 0:
-            return _empty_indices()
-        sub_left, sub_right = hash_match(
-            left_codes[left_rows] // num_partitions,
-            right_codes[right_rows] // num_partitions,
-            quotient_domain,
-        )
-        return left_rows[sub_left], right_rows[sub_right]
-
     tasks = [
         p
         for p in range(num_partitions)
-        if len(left_partitions[p]) and len(right_partitions[p])
+        if left_bounds[p] < left_bounds[p + 1] and right_bounds[p] < right_bounds[p + 1]
     ]
-    pairs = scheduler.map(match_partition, tasks)
+    if scheduler.process_parallel and len(tasks) > 1:
+        # Process tier: publish the code and order arrays once into shared
+        # memory; each task ships only descriptors plus its boundary window.
+        with scheduler.new_arena() as arena:
+            left_codes_desc = arena.share_array(left_codes)
+            right_codes_desc = arena.share_array(right_codes)
+            left_order_desc = arena.share_array(left_order)
+            right_order_desc = arena.share_array(right_order)
+            payloads = [
+                (
+                    left_codes_desc,
+                    right_codes_desc,
+                    left_order_desc,
+                    right_order_desc,
+                    int(left_bounds[p]),
+                    int(left_bounds[p + 1]),
+                    int(right_bounds[p]),
+                    int(right_bounds[p + 1]),
+                    num_partitions,
+                    quotient_domain,
+                )
+                for p in tasks
+            ]
+            pairs = scheduler.map_kernel(
+                _match_partition_task, payloads, stage="join"
+            )
+    else:
+
+        def match_partition(p: int) -> Tuple[np.ndarray, np.ndarray]:
+            left_rows = left_order[left_bounds[p] : left_bounds[p + 1]]
+            right_rows = right_order[right_bounds[p] : right_bounds[p + 1]]
+            sub_left, sub_right = hash_match(
+                left_codes[left_rows] // num_partitions,
+                right_codes[right_rows] // num_partitions,
+                quotient_domain,
+            )
+            return left_rows[sub_left], right_rows[sub_right]
+
+        pairs = scheduler.map(match_partition, tasks)
     if pairs:
         left_index = np.concatenate([pair[0] for pair in pairs])
         right_index = np.concatenate([pair[1] for pair in pairs])

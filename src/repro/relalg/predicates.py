@@ -22,7 +22,7 @@ from typing import Callable, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ExecutionError
-from repro.relalg.encoding import ColumnData, DictEncodedArray
+from repro.relalg.encoding import ColumnData, DictEncodedArray, slice_column
 from repro.relalg.relation import (
     DEFAULT_MORSEL_ROWS,
     ChunkedRelation,
@@ -30,6 +30,7 @@ from repro.relalg.relation import (
     as_relation,
 )
 from repro.relalg.scheduler import TaskScheduler
+from repro.relalg.shm import attach_columns
 from repro.sql.ast import LocalPredicate
 
 #: A compiled predicate: runtime column → boolean mask.
@@ -159,19 +160,41 @@ def compile_predicate(predicate: LocalPredicate) -> MaskFn:
     return mask
 
 
+def _predicate_mask_task(payload) -> np.ndarray:
+    """Kernel task body: evaluate one morsel's conjunction mask (worker process).
+
+    The payload carries shared-memory descriptors for the predicate columns,
+    this morsel's ``(start, stop)`` row window, and the (picklable)
+    :class:`LocalPredicate` specs, which the worker compiles — predicate
+    evaluation is elementwise, so the per-morsel mask equals the matching
+    slice of the whole-column mask bit-for-bit.  Must stay a picklable
+    top-level function.
+    """
+    columns_desc, start, stop, spec = payload
+    columns = attach_columns(columns_desc)
+    mask = np.ones(stop - start, dtype=bool)
+    for key, predicate in spec:
+        mask &= compile_predicate(predicate)(slice_column(columns[key], start, stop))
+    return mask
+
+
 def predicate_mask(
     relation: Relation,
     alias: str,
     predicates: Sequence[LocalPredicate],
     scheduler: Optional[TaskScheduler] = None,
     morsel_rows: int = DEFAULT_MORSEL_ROWS,
+    stage: Optional[str] = None,
 ) -> np.ndarray:
     """Conjunction mask of ``predicates`` over ``relation``'s rows.
 
     With a parallel ``scheduler`` and a large enough relation, the mask is
-    computed one morsel task at a time and concatenated in morsel order —
-    predicate evaluation is elementwise, so the chunked mask is bit-identical
-    to the whole-column one.
+    computed one morsel task at a time and concatenated in morsel order — on
+    the process backend as shared-memory kernel tasks
+    (:func:`_predicate_mask_task`), otherwise on the thread tier.  Predicate
+    evaluation is elementwise, so the chunked mask is bit-identical to the
+    whole-column one.  A ``stage`` label opts into adaptive morsel sizing
+    (omit it to pin ``morsel_rows`` exactly).
     """
     compiled = []
     for predicate in predicates:
@@ -180,6 +203,8 @@ def predicate_mask(
             raise ExecutionError(f"column {key!r} missing during predicate evaluation")
         compiled.append((key, compile_predicate(predicate)))
 
+    if scheduler is not None and stage is not None:
+        morsel_rows = scheduler.adaptive_morsel_rows(stage, morsel_rows)
     if (
         scheduler is not None
         and scheduler.parallel
@@ -187,6 +212,23 @@ def predicate_mask(
         and relation.num_rows >= _MIN_PARALLEL_FILTER_ROWS
     ):
         chunked = ChunkedRelation(relation, morsel_rows)
+        if scheduler.process_parallel and chunked.num_morsels > 1:
+            # Process tier: publish each predicate column once; every morsel
+            # task ships descriptors plus its row window.
+            spec = tuple(
+                (f"{alias}.{predicate.column}", predicate) for predicate in predicates
+            )
+            with scheduler.new_arena() as arena:
+                columns_desc = tuple(
+                    (key, arena.share_column(relation[key]))
+                    for key in sorted({key for key, _ in compiled})
+                )
+                payloads = [
+                    (columns_desc, start, stop, spec) for start, stop in chunked.bounds
+                ]
+                return np.concatenate(
+                    scheduler.map_kernel(_predicate_mask_task, payloads, stage=stage)
+                )
 
         def mask_morsel(morsel: Relation) -> np.ndarray:
             mask = np.ones(morsel.num_rows, dtype=bool)
@@ -208,11 +250,12 @@ def filter_relation(
     predicates: Sequence[LocalPredicate],
     scheduler: Optional[TaskScheduler] = None,
     morsel_rows: int = DEFAULT_MORSEL_ROWS,
+    stage: Optional[str] = None,
 ) -> Relation:
     """Filter a relation by a conjunction of local predicates on ``alias``."""
     relation = as_relation(relation)
     if not predicates:
         return relation
     return relation.select(
-        predicate_mask(relation, alias, predicates, scheduler, morsel_rows)
+        predicate_mask(relation, alias, predicates, scheduler, morsel_rows, stage)
     )

@@ -25,6 +25,7 @@ from repro.relalg.encoding import (
     slice_column,
     take_column,
 )
+from repro.relalg.shm import RelationDescriptor, ShmArena, attach_columns
 
 #: Default number of rows per morsel.  Large enough that per-task scheduling
 #: overhead is negligible next to the NumPy kernel work, small enough that a
@@ -138,6 +139,31 @@ class Relation(Dict[str, ColumnData]):
             {name: decode_column(column) for name, column in self.items()},
             num_rows=self._num_rows,
         )
+
+    # ------------------------------------------------------------------ #
+    # Shared-memory transport (process-backed morsel runtime)
+    # ------------------------------------------------------------------ #
+    def to_shared(self, arena: ShmArena) -> RelationDescriptor:
+        """Publish every column into ``arena``'s shared-memory segments.
+
+        The returned :class:`~repro.relalg.shm.RelationDescriptor` is a tiny
+        picklable handle a worker process turns back into a relation with
+        :meth:`from_descriptor` — attaching zero-copy views rather than
+        receiving pickled arrays.  The segments live as long as the arena's
+        scope (and are force-unlinked by ``TaskScheduler.close()`` at the
+        latest), so descriptors must not outlive the ``map`` they were
+        built for.
+        """
+        return arena.share_relation(self)
+
+    @classmethod
+    def from_descriptor(cls, descriptor: RelationDescriptor) -> "Relation":
+        """Attach a shared relation published by :meth:`to_shared` (zero-copy).
+
+        The columns are read-only views into the parent's segments; callers
+        that need to mutate must copy first.
+        """
+        return cls(attach_columns(descriptor.columns), num_rows=descriptor.num_rows)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         encoded = sum(1 for c in self.values() if isinstance(c, DictEncodedArray))

@@ -46,7 +46,7 @@ from __future__ import annotations
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cardinality.gamma import Gamma
 from repro.optimizer.settings import OptimizerSettings
@@ -85,8 +85,9 @@ class DriverSettings:
     #: Workers of the shared morsel scheduler — the single parallelism
     #: budget: morsel tasks from all in-flight queries compete for this pool,
     #: and one heavy query may occupy all of it.  1 falls back to fully
-    #: serial execution.
-    max_workers: int = 4
+    #: serial execution; ``"auto"`` sizes by the host (``min(cores - 2,
+    #: RAM / 4GB)``, floor 1 — see ``relalg.scheduler.default_worker_count``).
+    max_workers: Union[int, str] = 4
     #: Reuse finished results across identically-fingerprinted queries.
     use_plan_cache: bool = True
     #: Share Γ between queries with the same statistics fingerprint.
@@ -170,7 +171,8 @@ class WorkloadDriver:
             return []
         with self._lock:
             self.stats.queries_submitted += len(queries)
-        coordinators = max(1, min(self.settings.max_workers, len(queries)))
+        # ``settings.max_workers`` may be "auto"; the scheduler resolved it.
+        coordinators = max(1, min(self.scheduler.workers, len(queries)))
         try:
             if coordinators == 1 or not self.scheduler.parallel:
                 return [self._run_one(query) for query in queries]
@@ -193,8 +195,17 @@ class WorkloadDriver:
         return self.scheduler.account_stats(query_name)
 
     def shutdown(self) -> None:
-        """Stop the shared scheduler's worker threads."""
-        self.scheduler.shutdown()
+        """Stop the shared scheduler's workers.
+
+        A scheduler the driver *owns* is closed terminally — that also
+        unlinks any shared-memory segment a crashed kernel may have left
+        behind.  A caller-provided scheduler is merely parked (the caller
+        owns its lifecycle and may still have kernels in flight elsewhere).
+        """
+        if self._owns_scheduler:
+            self.scheduler.close()
+        else:
+            self.scheduler.shutdown()
 
     # ------------------------------------------------------------------ #
     # Per-query pipeline

@@ -100,8 +100,9 @@ class ServiceSettings:
     #: Optional cap (seconds) a caller waits for admission.
     admission_timeout: Optional[float] = None
     #: Workers of the service-owned morsel scheduler (ignored when a shared
-    #: scheduler is passed in).
-    workers: int = 1
+    #: scheduler is passed in).  ``"auto"`` sizes by the host — ``min(cores
+    #: - 2, RAM / 4GB)``, floor 1 (``relalg.scheduler.default_worker_count``).
+    workers: Union[int, str] = 1
     #: Morsel size for the executor and validator kernels.
     morsel_rows: int = DEFAULT_MORSEL_ROWS
 

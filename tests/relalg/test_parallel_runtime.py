@@ -48,9 +48,11 @@ def force_parallel(monkeypatch):
     monkeypatch.setattr(predicates_module, "_MIN_PARALLEL_FILTER_ROWS", 0)
 
 
-@pytest.fixture(scope="module")
-def scheduler():
-    with TaskScheduler(workers=4, name="test") as sched:
+@pytest.fixture(scope="module", params=["process", "thread"])
+def scheduler(request):
+    """Every bit-identity property runs against both backends: the
+    process-backed shared-memory runtime and the legacy thread tier."""
+    with TaskScheduler(workers=4, name="test", backend=request.param) as sched:
         yield sched
 
 
