@@ -18,7 +18,7 @@ from __future__ import annotations
 import os
 import threading
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,7 +39,7 @@ from repro.relalg import (
     parallel_hash_join,
 )
 from repro.executor.executor import Executor
-from repro.sql.ast import Aggregate, ColumnRef, JoinPredicate
+from repro.sql.ast import Aggregate, Bindings, ColumnRef, JoinPredicate, Query
 from repro.sql.builder import QueryBuilder
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.settings import OptimizerSettings
@@ -141,7 +141,7 @@ def _tpch_records(
 def figure4_7_tpch_running_time(
     zipf_z: float = 0.0,
     calibrated: bool = False,
-    **kwargs,
+    **kwargs: Any,
 ) -> ExperimentResult:
     """Figures 4 (z=0) and 7 (z=1): original vs re-optimized running time per query."""
     grouped = _tpch_records(zipf_z=zipf_z, calibrated=calibrated, **kwargs)
@@ -170,7 +170,7 @@ def figure4_7_tpch_running_time(
     return result
 
 
-def figure5_8_tpch_num_plans(zipf_z: float = 0.0, **kwargs) -> ExperimentResult:
+def figure5_8_tpch_num_plans(zipf_z: float = 0.0, **kwargs: Any) -> ExperimentResult:
     """Figures 5 (z=0) and 8 (z=1): number of plans generated during re-optimization."""
     figure = "figure5" if zipf_z == 0.0 else "figure8"
     result = ExperimentResult(
@@ -190,7 +190,7 @@ def figure5_8_tpch_num_plans(zipf_z: float = 0.0, **kwargs) -> ExperimentResult:
 
 
 def figure6_9_tpch_overhead(
-    zipf_z: float = 0.0, calibrated: bool = False, **kwargs
+    zipf_z: float = 0.0, calibrated: bool = False, **kwargs: Any
 ) -> ExperimentResult:
     """Figures 6 (z=0) and 9 (z=1): running time excluding vs including re-optimization."""
     grouped = _tpch_records(zipf_z=zipf_z, calibrated=calibrated, **kwargs)
@@ -217,7 +217,7 @@ def figure6_9_tpch_overhead(
 
 
 def figure14_tpch_rounds(
-    query_numbers: Sequence[int] = (8, 9, 21), zipf_z: float = 0.0, **kwargs
+    query_numbers: Sequence[int] = (8, 9, 21), zipf_z: float = 0.0, **kwargs: Any
 ) -> ExperimentResult:
     """Figure 14: running time of the plan produced in each re-optimization round."""
     grouped = _tpch_records(
@@ -274,7 +274,7 @@ def _ott_records(
 
 
 def figure10_11_ott_running_time(
-    joins: int = 4, calibrated: bool = False, num_queries: int = 10, **kwargs
+    joins: int = 4, calibrated: bool = False, num_queries: int = 10, **kwargs: Any
 ) -> ExperimentResult:
     """Figures 10 (4-join) and 11 (5-join): OTT original vs re-optimized running time."""
     num_tables = joins + 1
@@ -307,7 +307,7 @@ def figure10_11_ott_running_time(
     return result
 
 
-def figure12_13_ott_commercial(profile: str = "system_a", joins: int = 4, num_queries: int = 10, **kwargs) -> ExperimentResult:
+def figure12_13_ott_commercial(profile: str = "system_a", joins: int = 4, num_queries: int = 10, **kwargs: Any) -> ExperimentResult:
     """Figures 12/13: OTT original-plan running times under the commercial-system profiles."""
     num_tables = joins + 1
     rows_per_value = OTT_4JOIN_ROWS_PER_VALUE if joins == 4 else OTT_5JOIN_ROWS_PER_VALUE
@@ -330,7 +330,7 @@ def figure12_13_ott_commercial(profile: str = "system_a", joins: int = 4, num_qu
     return result
 
 
-def figure15_ott_rounds(joins: int = 4, num_queries: int = 6, **kwargs) -> ExperimentResult:
+def figure15_ott_rounds(joins: int = 4, num_queries: int = 6, **kwargs: Any) -> ExperimentResult:
     """Figure 15: per-round plan cost for OTT queries during re-optimization."""
     num_tables = joins + 1
     rows_per_value = OTT_4JOIN_ROWS_PER_VALUE if joins == 4 else OTT_5JOIN_ROWS_PER_VALUE
@@ -349,7 +349,7 @@ def figure15_ott_rounds(joins: int = 4, num_queries: int = 6, **kwargs) -> Exper
     return result
 
 
-def figure16_ott_num_plans(joins: int = 4, num_queries: int = 10, **kwargs) -> ExperimentResult:
+def figure16_ott_num_plans(joins: int = 4, num_queries: int = 10, **kwargs: Any) -> ExperimentResult:
     """Figure 16: number of plans generated during re-optimization (OTT)."""
     num_tables = joins + 1
     rows_per_value = OTT_4JOIN_ROWS_PER_VALUE if joins == 4 else OTT_5JOIN_ROWS_PER_VALUE
@@ -370,7 +370,7 @@ def figure16_ott_num_plans(joins: int = 4, num_queries: int = 10, **kwargs) -> E
     return result
 
 
-def figure17_18_ott_overhead(joins: int = 4, num_queries: int = 10, **kwargs) -> ExperimentResult:
+def figure17_18_ott_overhead(joins: int = 4, num_queries: int = 10, **kwargs: Any) -> ExperimentResult:
     """Figures 17/18: OTT running time excluding vs including re-optimization time."""
     num_tables = joins + 1
     rows_per_value = OTT_4JOIN_ROWS_PER_VALUE if joins == 4 else OTT_5JOIN_ROWS_PER_VALUE
@@ -411,7 +411,7 @@ def _tpcds_records(
     return run_query_suite(db, queries, optimizer_settings=settings, concurrency=concurrency)
 
 
-def figure19_tpcds_running_time(calibrated: bool = False, **kwargs) -> ExperimentResult:
+def figure19_tpcds_running_time(calibrated: bool = False, **kwargs: Any) -> ExperimentResult:
     """Figure 19: TPC-DS original vs re-optimized running time (including Q50')."""
     records = _tpcds_records(calibrated=calibrated, **kwargs)
     result = ExperimentResult(
@@ -437,7 +437,7 @@ def figure19_tpcds_running_time(calibrated: bool = False, **kwargs) -> Experimen
     return result
 
 
-def figure20_tpcds_num_plans(**kwargs) -> ExperimentResult:
+def figure20_tpcds_num_plans(**kwargs: Any) -> ExperimentResult:
     """Figure 20: number of plans generated during re-optimization (TPC-DS)."""
     without = _tpcds_records(calibrated=False, **kwargs)
     with_cal = _tpcds_records(calibrated=True, **kwargs)
@@ -493,7 +493,7 @@ def example2_multidimensional_histograms(
     return result
 
 
-def appendix_b_bounds(num_queries: int = 10, num_tables: int = 5, **kwargs) -> ExperimentResult:
+def appendix_b_bounds(num_queries: int = 10, num_tables: int = 5, **kwargs: Any) -> ExperimentResult:
     """Appendix B: observed OTT round counts against the theoretical bounds."""
     records = _ott_records(
         num_tables=num_tables, num_queries=num_queries,
@@ -656,7 +656,7 @@ def parallel_runtime(
             joined, [ColumnRef("f", "g")], aggregates, scheduler=scheduler
         )
 
-    def timed_samples(fn) -> List[float]:
+    def timed_samples(fn: Callable[[], object]) -> List[float]:
         samples = []
         for _ in range(max(1, repeats)):
             started = time.perf_counter()
@@ -666,7 +666,9 @@ def parallel_runtime(
 
     host_cores = os.cpu_count() or 1
 
-    def timed_parallel(fn, scheduler: TaskScheduler) -> Tuple[List[float], float]:
+    def timed_parallel(
+        fn: Callable[[], object], scheduler: TaskScheduler
+    ) -> Tuple[List[float], float]:
         """Per-repeat wall samples plus the stage's per-task overhead fraction.
 
         Overhead is the share of usable pool capacity — wall-clock times the
@@ -818,7 +820,7 @@ def _adaptive_star_database(
     return db
 
 
-def _adaptive_star_query(num_dims: int, correlated: bool):
+def _adaptive_star_query(num_dims: int, correlated: bool) -> Query:
     builder = QueryBuilder("star_skew" if correlated else "star_uniform")
     builder.table("f").filter("f", "a", "=", 0)
     for index in range(1, num_dims + 1):
@@ -978,7 +980,7 @@ def batched_driver(
     return result
 
 
-def _service_templates():
+def _service_templates() -> Tuple[List[Query], Dict[str, List[Bindings]]]:
     """The parameterized TPC-H template mix the service benchmark serves."""
     revenue = (
         QueryBuilder("svc_revenue")
@@ -1055,7 +1057,7 @@ def service_throughput(
     """
     from concurrent.futures import ThreadPoolExecutor
 
-    from repro.service import QueryService, ServiceSettings
+    from repro.service import AdmissionStats, QueryService, ServiceSettings, ServiceStats
 
     db = generate_tpch_database(
         scale_factor=scale_factor, seed=seed, sampling_ratio=sampling_ratio
@@ -1071,12 +1073,16 @@ def service_throughput(
     order = rng.permutation(len(mix))
     mix = [mix[i] for i in order]
 
-    def run_mode(settings: ServiceSettings):
+    def run_mode(
+        settings: ServiceSettings,
+    ) -> Tuple[
+        float, Dict[Tuple[str, int], Relation], List[str], ServiceStats, AdmissionStats
+    ]:
         service = QueryService(db, settings=settings)
-        outputs = {}
+        outputs: Dict[Tuple[str, int], Relation] = {}
         outputs_lock = threading.Lock()
 
-        def serve(item):
+        def serve(item: Tuple[int, Tuple[Query, int, Bindings]]) -> str:
             index, (template, binding_index, binding) = item
             result = service.execute(
                 template, binding, client=f"client{index % concurrency}"

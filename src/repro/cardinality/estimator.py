@@ -39,7 +39,7 @@ from repro.cardinality.selectivity import (
     conjunction_selectivity,
     local_predicate_selectivity,
 )
-from repro.sql.ast import Query
+from repro.sql.ast import JoinPredicate, Query
 from repro.stats.statistics import ColumnStatistics
 from repro.storage.catalog import Database
 
@@ -115,7 +115,7 @@ class CardinalityEstimator:
     # ------------------------------------------------------------------ #
     # Joins
     # ------------------------------------------------------------------ #
-    def join_predicate_selectivity(self, predicate) -> float:
+    def join_predicate_selectivity(self, predicate: JoinPredicate) -> float:
         """Selectivity of a single equi-join predicate (cached per query)."""
         key = frozenset(
             {

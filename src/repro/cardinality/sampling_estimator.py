@@ -58,7 +58,7 @@ from repro.relalg import (
     filter_relation,
     parallel_hash_join,
 )
-from repro.sql.ast import Query
+from repro.sql.ast import Bindings, Query
 from repro.storage.catalog import Database
 from repro.storage.sampling import SampleSet
 
@@ -414,7 +414,7 @@ class SamplingEstimator:
 def validate_plan_for_bindings(
     db: Database,
     template: Query,
-    bindings,
+    bindings: Bindings,
     plan: PlanNode,
     scheduler: Optional[TaskScheduler] = None,
     samples: Optional[SampleSet] = None,

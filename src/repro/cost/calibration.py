@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import nnls
@@ -28,6 +28,13 @@ from scipy.optimize import nnls
 from repro.cost.model import ResourceVector
 from repro.cost.units import CostUnits
 from repro.errors import CalibrationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.executor.executor import Executor
+    from repro.optimizer.optimizer import Optimizer
+    from repro.relalg.scheduler import TaskScheduler
+    from repro.sql.ast import Query
+    from repro.storage.catalog import Database
 
 
 @dataclass
@@ -74,12 +81,12 @@ def fit_cost_units(observations: Sequence[CalibrationObservation]) -> Calibratio
 
 
 def calibrate_cost_units(
-    db,
-    queries: Optional[Sequence] = None,
-    executor=None,
-    optimizer=None,
+    db: Database,
+    queries: Optional[Sequence[Query]] = None,
+    executor: Optional[Executor] = None,
+    optimizer: Optional[Optimizer] = None,
     repetitions: int = 1,
-    scheduler=None,
+    scheduler: Optional[TaskScheduler] = None,
 ) -> CalibrationResult:
     """Calibrate the cost units against the executor on ``db``.
 

@@ -10,7 +10,7 @@ reproduces that procedure against our executor.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Dict, Iterable
 
 
 @dataclass(frozen=True)
@@ -48,7 +48,7 @@ class CostUnits:
         return replace(self, **kwargs)
 
     @classmethod
-    def from_vector(cls, vector) -> "CostUnits":
+    def from_vector(cls, vector: Iterable[float]) -> "CostUnits":
         """Build units from a 5-vector in ``as_dict`` order."""
         names = list(cls().as_dict())
         values = {name: float(value) for name, value in zip(names, vector)}

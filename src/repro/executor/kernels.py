@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.relalg import (
     Relation,
+    RelationLike,
     as_relation,
     filter_relation,
     group_aggregate,
@@ -32,7 +33,7 @@ apply_predicate_mask = filter_relation
 equi_join = hash_join
 
 
-def empty_like(relation) -> Relation:
+def empty_like(relation: RelationLike) -> Relation:
     """A zero-row relation with the same columns as ``relation``."""
     return as_relation(relation).empty_like()
 

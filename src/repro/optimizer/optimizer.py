@@ -21,7 +21,7 @@ of the work from round 2 on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import FrozenSet, Mapping, Optional
 
 from repro.cardinality.estimator import CardinalityEstimator
 from repro.cardinality.gamma import Gamma
@@ -102,7 +102,11 @@ class PlanningSession:
         self.last_join_trees_considered = 0
         return self
 
-    def optimize(self, gamma: Optional[Gamma] = None, materialized=None) -> PlanNode:
+    def optimize(
+        self,
+        gamma: Optional[Gamma] = None,
+        materialized: Optional[Mapping[FrozenSet[str], PlanNode]] = None,
+    ) -> PlanNode:
         """Plan the session's query under the current Γ.
 
         ``materialized`` (join set → plan node, typically a zero-cost

@@ -29,6 +29,7 @@ from enum import Enum
 from typing import FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.plans.nodes import AggregateNode, JoinNode, PlanNode, ScanNode
+from repro.sql.ast import Query
 
 #: An ordered logical join: (leaves of the left subtree, leaves of the right
 #: subtree), each in left-to-right leaf order — the "encoding" of Appendix E.
@@ -193,7 +194,7 @@ def subtree_for(plan: PlanNode, relations: Iterable[str]) -> Optional[PlanNode]:
     return None
 
 
-def rebind_plan(plan: PlanNode, query) -> PlanNode:
+def rebind_plan(plan: PlanNode, query: Query) -> PlanNode:
     """The same plan *shape* with scan predicates taken from ``query``.
 
     A cached parameterized plan embeds the constants of the binding it was

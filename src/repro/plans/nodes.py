@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from repro.sql.ast import Aggregate, ColumnRef, JoinPredicate, LocalPredicate
 
@@ -57,7 +57,7 @@ class PlanNode:
         """Child nodes, left to right."""
         return ()
 
-    def walk(self):
+    def walk(self) -> Iterator["PlanNode"]:
         """Yield this node and all descendants, pre-order."""
         yield self
         for child in self.children():

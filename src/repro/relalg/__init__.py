@@ -66,6 +66,7 @@ from repro.relalg.relation import (
     DEFAULT_MORSEL_ROWS,
     ChunkedRelation,
     Relation,
+    RelationLike,
     as_relation,
     concat_relations,
     relation_num_rows,
@@ -100,6 +101,7 @@ __all__ = [
     "DEFAULT_MORSEL_ROWS",
     "DictEncodedArray",
     "Relation",
+    "RelationLike",
     "RelationDescriptor",
     "SegmentRegistry",
     "ShmArena",

@@ -23,9 +23,14 @@ import numpy as np
 
 from repro.errors import ExecutionError
 from repro.relalg.encoding import ColumnData, DictEncodedArray, sort_key, take_column
-from repro.relalg.relation import DEFAULT_MORSEL_ROWS, Relation, as_relation
+from repro.relalg.relation import (
+    DEFAULT_MORSEL_ROWS,
+    Relation,
+    RelationLike,
+    as_relation,
+)
 from repro.relalg.scheduler import TaskScheduler
-from repro.relalg.shm import attach_array, attach_columns
+from repro.relalg.shm import ArrayDescriptor, ColumnDescriptor, attach_array, attach_columns
 from repro.sql.ast import Aggregate, ColumnRef
 
 #: Below this many input rows the parallel aggregation path is not worth the
@@ -126,7 +131,23 @@ def _group_chunks(
     return chunks
 
 
-def _aggregate_chunk_task(payload) -> Dict[str, np.ndarray]:
+#: ``_aggregate_chunk_task`` payload: shared descriptors for the value
+#: columns / sort order / group boundaries, this chunk's group and row
+#: windows, and the (picklable) aggregate specs.
+AggregateChunkPayload = Tuple[
+    Tuple[Tuple[str, ColumnDescriptor], ...],
+    ArrayDescriptor,
+    ArrayDescriptor,
+    ArrayDescriptor,
+    int,
+    int,
+    int,
+    int,
+    Tuple[Aggregate, ...],
+]
+
+
+def _aggregate_chunk_task(payload: AggregateChunkPayload) -> Dict[str, np.ndarray]:
     """Kernel task body: reduce one group-aligned chunk (worker process).
 
     The payload carries shared-memory descriptors for the value columns, the
@@ -268,7 +289,7 @@ def _parallel_grouped(
 
 
 def group_aggregate(
-    relation,
+    relation: RelationLike,
     group_by: Sequence[ColumnRef],
     aggregates: Sequence[Aggregate],
     scheduler: Optional[TaskScheduler] = None,
@@ -356,7 +377,7 @@ def group_aggregate(
             morsel_rows,
             stage,
         )
-    sorted_cache: dict = {}
+    sorted_cache: Dict[str, ColumnData] = {}
     for aggregate in aggregates:
         sorted_column: Optional[ColumnData] = None
         if aggregate.column is not None:

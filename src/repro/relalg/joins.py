@@ -26,9 +26,9 @@ from typing import FrozenSet, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.relalg.encoding import ColumnData, codes_against, factorize_pair, take_column
-from repro.relalg.relation import Relation, as_relation
+from repro.relalg.relation import Relation, RelationLike, as_relation
 from repro.relalg.scheduler import TaskScheduler
-from repro.relalg.shm import attach_array
+from repro.relalg.shm import ArrayDescriptor, attach_array
 from repro.sql.ast import JoinPredicate
 
 #: Composite keys stop growing once the combined domain would overflow int64;
@@ -219,8 +219,8 @@ def _materialise(
 
 
 def join_indices(
-    left,
-    right,
+    left: RelationLike,
+    right: RelationLike,
     predicates: Sequence[JoinPredicate],
     left_aliases: FrozenSet[str],
     method: str = "hash",
@@ -254,10 +254,10 @@ def join_indices(
 
 
 def _join(
-    left,
-    right,
-    predicates,
-    left_aliases,
+    left: RelationLike,
+    right: RelationLike,
+    predicates: Sequence[JoinPredicate],
+    left_aliases: FrozenSet[str],
     method: str,
     nested_loop_block_elements: Optional[int] = None,
 ) -> Relation:
@@ -269,20 +269,30 @@ def _join(
     return _materialise(left, right, left_index, right_index)
 
 
-def hash_join(left, right, predicates, left_aliases: FrozenSet[str]) -> Relation:
+def hash_join(
+    left: RelationLike,
+    right: RelationLike,
+    predicates: Sequence[JoinPredicate],
+    left_aliases: FrozenSet[str],
+) -> Relation:
     """Hash-based equi-join (factorize → bucketise → probe)."""
     return _join(left, right, predicates, left_aliases, "hash")
 
 
-def merge_join(left, right, predicates, left_aliases: FrozenSet[str]) -> Relation:
+def merge_join(
+    left: RelationLike,
+    right: RelationLike,
+    predicates: Sequence[JoinPredicate],
+    left_aliases: FrozenSet[str],
+) -> Relation:
     """Sort-merge equi-join (factorize → sort → binary search)."""
     return _join(left, right, predicates, left_aliases, "merge")
 
 
 def nested_loop_join(
-    left,
-    right,
-    predicates,
+    left: RelationLike,
+    right: RelationLike,
+    predicates: Sequence[JoinPredicate],
     left_aliases: FrozenSet[str],
     block_elements: Optional[int] = None,
 ) -> Relation:
@@ -320,7 +330,23 @@ def _radix_partitions(codes: np.ndarray, num_partitions: int) -> List[np.ndarray
     ]
 
 
-def _match_partition_task(payload) -> Tuple[np.ndarray, np.ndarray]:
+#: ``_match_partition_task`` payload: the four shared code/order arrays plus
+#: this partition's boundary windows and the partitioning constants.
+MatchPartitionPayload = Tuple[
+    ArrayDescriptor,
+    ArrayDescriptor,
+    ArrayDescriptor,
+    ArrayDescriptor,
+    int,
+    int,
+    int,
+    int,
+    int,
+    int,
+]
+
+
+def _match_partition_task(payload: MatchPartitionPayload) -> Tuple[np.ndarray, np.ndarray]:
     """Kernel task body: build + probe one radix partition (worker process).
 
     The payload carries :class:`~repro.relalg.shm.ArrayDescriptor` handles
@@ -358,8 +384,8 @@ def _match_partition_task(payload) -> Tuple[np.ndarray, np.ndarray]:
 
 
 def parallel_join_indices(
-    left,
-    right,
+    left: RelationLike,
+    right: RelationLike,
     predicates: Sequence[JoinPredicate],
     left_aliases: FrozenSet[str],
     scheduler: Optional[TaskScheduler] = None,
@@ -468,9 +494,9 @@ def parallel_join_indices(
 
 
 def parallel_hash_join(
-    left,
-    right,
-    predicates,
+    left: RelationLike,
+    right: RelationLike,
+    predicates: Sequence[JoinPredicate],
     left_aliases: FrozenSet[str],
     scheduler: Optional[TaskScheduler] = None,
     num_partitions: Optional[int] = None,

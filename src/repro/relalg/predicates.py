@@ -27,10 +27,11 @@ from repro.relalg.relation import (
     DEFAULT_MORSEL_ROWS,
     ChunkedRelation,
     Relation,
+    RelationLike,
     as_relation,
 )
 from repro.relalg.scheduler import TaskScheduler
-from repro.relalg.shm import attach_columns
+from repro.relalg.shm import ColumnDescriptor, attach_columns
 from repro.sql.ast import LocalPredicate
 
 #: A compiled predicate: runtime column → boolean mask.
@@ -160,7 +161,17 @@ def compile_predicate(predicate: LocalPredicate) -> MaskFn:
     return mask
 
 
-def _predicate_mask_task(payload) -> np.ndarray:
+#: ``_predicate_mask_task`` payload: shared predicate-column descriptors,
+#: this morsel's row window, and the (picklable) predicate specs.
+PredicateMaskPayload = Tuple[
+    Tuple[Tuple[str, ColumnDescriptor], ...],
+    int,
+    int,
+    Tuple[Tuple[str, LocalPredicate], ...],
+]
+
+
+def _predicate_mask_task(payload: PredicateMaskPayload) -> np.ndarray:
     """Kernel task body: evaluate one morsel's conjunction mask (worker process).
 
     The payload carries shared-memory descriptors for the predicate columns,
@@ -245,7 +256,7 @@ def predicate_mask(
 
 
 def filter_relation(
-    relation,
+    relation: RelationLike,
     alias: str,
     predicates: Sequence[LocalPredicate],
     scheduler: Optional[TaskScheduler] = None,

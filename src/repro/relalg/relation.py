@@ -11,7 +11,17 @@ pushdown a relation can legitimately carry *zero* columns (e.g. the input of
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -26,6 +36,13 @@ from repro.relalg.encoding import (
     take_column,
 )
 from repro.relalg.shm import RelationDescriptor, ShmArena, attach_columns
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.storage.table import Table
+
+#: Anything the kernels accept as a relation: a :class:`Relation` proper or
+#: the legacy plain column mapping (coerced via :func:`as_relation`).
+RelationLike = Union["Relation", Mapping[str, ColumnData]]
 
 #: Default number of rows per morsel.  Large enough that per-task scheduling
 #: overhead is negligible next to the NumPy kernel work, small enough that a
@@ -53,7 +70,7 @@ class Relation(Dict[str, ColumnData]):
     # ------------------------------------------------------------------ #
     @classmethod
     def from_table(
-        cls, table, alias: str, columns: Optional[Iterable[str]] = None
+        cls, table: "Table", alias: str, columns: Optional[Iterable[str]] = None
     ) -> "Relation":
         """Build a relation over ``table``'s columns qualified with ``alias``.
 
@@ -115,7 +132,7 @@ class Relation(Dict[str, ColumnData]):
             num_rows=stop - start,
         )
 
-    def fingerprint(self) -> Tuple:
+    def fingerprint(self) -> Tuple[object, ...]:
         """Content fingerprint: column names plus per-column data hashes.
 
         Two relations with equal fingerprints hold the same rows in the same
@@ -200,7 +217,7 @@ class ChunkedRelation:
 
     @classmethod
     def from_relation(
-        cls, relation, morsel_rows: int = DEFAULT_MORSEL_ROWS
+        cls, relation: RelationLike, morsel_rows: int = DEFAULT_MORSEL_ROWS
     ) -> "ChunkedRelation":
         """Chunk a relation (or plain column mapping) into morsels."""
         return cls(as_relation(relation), morsel_rows)
@@ -234,7 +251,7 @@ class ChunkedRelation:
         """The chunked relation as one contiguous relation (the parent)."""
         return self.relation
 
-    def fingerprint(self) -> Tuple:
+    def fingerprint(self) -> Tuple[object, ...]:
         """Morsel-set fingerprint: content fingerprint plus the chunking grid."""
         return (self.morsel_rows, len(self._bounds)) + self.relation.fingerprint()
 
@@ -283,14 +300,14 @@ def concat_relations(parts: Iterable[Relation]) -> Relation:
     return Relation(columns, num_rows=total_rows)
 
 
-def as_relation(columns) -> Relation:
+def as_relation(columns: RelationLike) -> Relation:
     """Coerce a plain column mapping (legacy representation) to a Relation."""
     if isinstance(columns, Relation):
         return columns
     return Relation(columns)
 
 
-def relation_num_rows(relation) -> int:
+def relation_num_rows(relation: RelationLike) -> int:
     """Number of rows of a relation or plain column mapping."""
     if isinstance(relation, Relation):
         return relation.num_rows

@@ -58,7 +58,19 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, TypeVar, Union
+from typing import (
+    Any,
+    Callable,
+    ContextManager,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from repro.relalg.shm import SegmentRegistry, ShmArena, reset_worker_caches
 
@@ -267,7 +279,10 @@ class SchedulerStats:
 # --------------------------------------------------------------------------- #
 # Worker-process entry point (must be a picklable top-level function)
 # --------------------------------------------------------------------------- #
-def _process_worker_main(task_queue, result_queue) -> None:
+def _process_worker_main(
+    task_queue: "multiprocessing.Queue[Optional[Tuple[int, bytes]]]",
+    result_queue: "multiprocessing.Queue[Tuple[int, bytes, float]]",
+) -> None:
     """Drain kernel tasks until the ``None`` sentinel arrives.
 
     Results are pickled *explicitly* before being enqueued: task bodies
@@ -509,7 +524,7 @@ class TaskScheduler:
             return default_rows
         return self.sizer.morsel_rows(stage, default_rows)
 
-    def accounting(self, label: Optional[str]):
+    def accounting(self, label: Optional[str]) -> ContextManager["TaskScheduler"]:
         """Context manager attributing tasks submitted inside it to ``label``.
 
         The label applies to ``map`` calls made on the *entering* thread

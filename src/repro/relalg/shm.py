@@ -40,11 +40,14 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.relalg.encoding import ColumnData, DictEncodedArray
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.relalg.relation import Relation
 
 #: Every segment name starts with this, so a leak is visible in /dev/shm.
 SEGMENT_PREFIX = "repro_shm"
@@ -246,7 +249,7 @@ class ShmArena:
             )
         return ColumnDescriptor(kind="plain", data=self.share_array(values))
 
-    def share_relation(self, relation) -> RelationDescriptor:
+    def share_relation(self, relation: "Relation") -> RelationDescriptor:
         return RelationDescriptor(
             num_rows=relation.num_rows,
             columns=tuple(
@@ -368,7 +371,7 @@ def attach_array(descriptor: ArrayDescriptor) -> np.ndarray:
     )
 
 
-def _attach_pickled(descriptor: ArrayDescriptor):
+def _attach_pickled(descriptor: ArrayDescriptor) -> np.ndarray:
     cached = _pickle_cache.get(descriptor.segment)
     if cached is not None:
         _pickle_cache.move_to_end(descriptor.segment)

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.cardinality.gamma import Gamma
 from repro.cost.model import ResourceVector
@@ -193,7 +193,7 @@ def _next_pipeline(plan: PlanNode) -> Optional[PlanNode]:
     return None
 
 
-def _post_order(node: PlanNode):
+def _post_order(node: PlanNode) -> Iterator[PlanNode]:
     for child in node.children():
         yield from _post_order(child)
     yield node

@@ -52,6 +52,7 @@ from repro.cardinality.gamma import Gamma
 from repro.optimizer.settings import OptimizerSettings
 from repro.relalg import TaskScheduler
 from repro.relalg.scheduler import AccountStats, SchedulerStats
+from repro.reopt.report import ReoptimizationReport
 from repro.reopt.algorithm import (
     ReoptimizationResult,
     ReoptimizationSettings,
@@ -210,7 +211,7 @@ class WorkloadDriver:
     # ------------------------------------------------------------------ #
     # Per-query pipeline
     # ------------------------------------------------------------------ #
-    def _stamp_cache_counters(self, report) -> None:
+    def _stamp_cache_counters(self, report: ReoptimizationReport) -> None:
         """Record the driver's plan-cache totals on every round record."""
         with self._lock:
             hits, misses = self.stats.plan_cache_hits, self.stats.plan_cache_misses

@@ -49,14 +49,14 @@ from repro.executor.executor import (
 )
 from repro.executor.materialization import IntermediateRegistry, canonicalize_relation
 from repro.cost.model import ResourceVector
-from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.optimizer import Optimizer, PlanningSession
 from repro.optimizer.settings import OptimizerSettings
 from repro.plans.join_tree import rebind_plan
 from repro.plans.nodes import AggregateNode, MaterializedNode, PlanNode
-from repro.relalg import DEFAULT_MORSEL_ROWS, TaskScheduler
+from repro.relalg import DEFAULT_MORSEL_ROWS, Relation, TaskScheduler
 from repro.relalg.scheduler import SchedulerStats
 from repro.reopt.adaptive import needs_canonical_order
-from repro.reopt.algorithm import ReoptimizationSettings, Reoptimizer
+from repro.reopt.algorithm import ReoptimizationResult, ReoptimizationSettings, Reoptimizer
 from repro.service.admission import AdmissionController, AdmissionStats, BackpressureError
 from repro.service.cache import PlanCacheEntry, ResultCache, ResultCacheStats, max_drift
 from repro.service.templates import PreparedStatement, StatementRegistry
@@ -162,7 +162,7 @@ class ServiceResult:
         return self.execution.num_rows
 
     @property
-    def columns(self):
+    def columns(self) -> Relation:
         return self.execution.columns
 
 
@@ -572,7 +572,12 @@ class QueryService:
                 planning_seconds,
             )
 
-    def _run_algorithm1(self, bound: Query, session, gamma: Optional[Gamma]):
+    def _run_algorithm1(
+        self,
+        bound: Query,
+        session: Optional[PlanningSession],
+        gamma: Optional[Gamma],
+    ) -> ReoptimizationResult:
         reoptimizer = Reoptimizer(
             self.db,
             optimizer=self.optimizer,

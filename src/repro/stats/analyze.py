@@ -15,7 +15,7 @@ The defaults (100 MCVs, 100 histogram buckets) match PostgreSQL's default
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 import numpy as np
 
@@ -23,6 +23,9 @@ from repro.relalg.encoding import ColumnData, take_column, value_counts
 from repro.stats.histogram import EquiDepthHistogram
 from repro.stats.statistics import ColumnStatistics, TableStatistics
 from repro.storage.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.storage.catalog import Database
 
 #: Default number of most-common values kept per column.
 DEFAULT_MCV_TARGET = 100
@@ -150,7 +153,7 @@ def analyze_table(
 
 
 def analyze(
-    db,
+    db: "Database",
     table_names: Optional[Iterable[str]] = None,
     mcv_target: int = DEFAULT_MCV_TARGET,
     histogram_buckets: int = DEFAULT_HISTOGRAM_BUCKETS,

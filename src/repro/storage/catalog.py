@@ -17,12 +17,15 @@ exactly as a DBA must run ``ANALYZE`` before expecting decent plans.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.errors import CatalogError, StatisticsError
 from repro.storage.index import HashIndex, SortedIndex
 from repro.storage.sampling import DEFAULT_MIN_SAMPLE_ROWS, DEFAULT_SAMPLING_RATIO, SampleSet
 from repro.storage.table import Column, Table, TableSchema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.stats.statistics import TableStatistics
 
 
 class Database:
@@ -167,13 +170,15 @@ class Database:
     # ------------------------------------------------------------------ #
     # Statistics and samples
     # ------------------------------------------------------------------ #
-    def analyze(self, table_names: Optional[Iterable[str]] = None, **kwargs) -> None:
+    def analyze(
+        self, table_names: Optional[Iterable[str]] = None, **kwargs: object
+    ) -> None:
         """Collect optimizer statistics (delegates to :func:`repro.stats.analyze.analyze`)."""
         from repro.stats.analyze import analyze as run_analyze
 
         run_analyze(self, table_names=table_names, **kwargs)
 
-    def table_statistics(self, table_name: str):
+    def table_statistics(self, table_name: str) -> "TableStatistics":
         """Return the ANALYZE statistics for ``table_name``.
 
         Raises

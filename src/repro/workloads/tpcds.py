@@ -19,7 +19,7 @@ The reproduction keeps that experiment's structure:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -334,7 +334,14 @@ def generate_tpcds_database(
 # --------------------------------------------------------------------------- #
 # Query templates
 # --------------------------------------------------------------------------- #
-def _star(name: str, *, dims, filters, aggregates, group_by=()) -> Callable:
+def _star(
+    name: str,
+    *,
+    dims: Mapping[str, Tuple[str, str, str]],
+    filters: Sequence[Tuple[str, str, str, object]],
+    aggregates: Sequence[Tuple[str, str, str, str]],
+    group_by: Sequence[Tuple[str, str]] = (),
+) -> Callable[["Database", np.random.Generator], Query]:
     """Build a star-join template over ``store_sales`` declaratively.
 
     ``dims`` maps a dimension alias to ``(table, fact_column, dim_column)``;

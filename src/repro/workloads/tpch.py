@@ -18,7 +18,7 @@ structure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -100,7 +100,9 @@ def _skewed_integers(rng: np.random.Generator, n_values: int, size: int, z: floa
     return rng.choice(n_values, size=size, p=probabilities).astype(np.int64)
 
 
-def _skewed_choice(rng: np.random.Generator, values, size: int, z: float) -> np.ndarray:
+def _skewed_choice(
+    rng: np.random.Generator, values: Sequence[object], size: int, z: float
+) -> np.ndarray:
     """Choose from ``values`` with Zipf(z) skew over their order."""
     indexes = _skewed_integers(rng, len(values), size, z)
     return np.array(values, dtype=object)[indexes]

@@ -12,7 +12,7 @@ ordering — and therefore re-optimization — actually interacts with.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
@@ -39,7 +39,7 @@ TPCH_QUERY_TEMPLATES: Dict[str, QueryTemplate] = {}
 TPCH_QUERY_NUMBERS = [n for n in range(1, 23) if n != 15]
 
 
-def _register(name: str):
+def _register(name: str) -> Callable[[QueryTemplate], QueryTemplate]:
     def decorator(func: QueryTemplate) -> QueryTemplate:
         TPCH_QUERY_TEMPLATES[name] = func
         return func
@@ -53,7 +53,7 @@ def _random_date(rng: np.random.Generator, low_fraction: float = 0.1, high_fract
     return int(rng.integers(low, high + 1))
 
 
-def _choice(rng: np.random.Generator, values) -> object:
+def _choice(rng: np.random.Generator, values: Sequence[object]) -> object:
     return values[int(rng.integers(0, len(values)))]
 
 

@@ -1,0 +1,21 @@
+"""Fixture: every flavour of unseeded randomness RPL001 must catch."""
+
+import random
+
+import numpy as np
+
+
+def entropy_seeded_generator():
+    return np.random.default_rng()
+
+
+def global_numpy_state(n):
+    return np.random.permutation(n)
+
+
+def entropy_seeded_stdlib():
+    return random.Random()
+
+
+def global_stdlib_state(values):
+    return random.choice(values)

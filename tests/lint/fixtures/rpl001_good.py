@@ -1,0 +1,21 @@
+"""Fixture: explicitly seeded randomness RPL001 must accept."""
+
+import random
+
+import numpy as np
+
+
+def seeded_generator(seed):
+    return np.random.default_rng(seed)
+
+
+def keyword_seeded_generator(seed):
+    return np.random.default_rng(seed=seed)
+
+
+def seeded_stdlib(seed):
+    return random.Random(seed)
+
+
+def drawing_from_instance(rng, values):
+    return rng.choice(values)

@@ -1,0 +1,14 @@
+"""Fixture: hash-ordered iteration feeding plan enumeration (RPL002)."""
+
+
+def expand_subsets(left, right):
+    plans = []
+    for alias in frozenset(left):
+        plans.append(alias)
+    for alias in {x for x in left}:
+        plans.append(alias)
+    for alias in set(right):
+        plans.append(alias)
+    for alias in list(left.union(right)):
+        plans.append(alias)
+    return plans

@@ -1,0 +1,14 @@
+"""Fixture: content-ordered iteration RPL002 must accept."""
+
+
+def expand_subsets(left, right):
+    plans = []
+    for alias in sorted(left | right):
+        plans.append(alias)
+    for alias in sorted(set(right)):
+        plans.append(alias)
+    for pair in enumerate(sorted(left.union(right))):
+        plans.append(pair)
+    for alias in [x for x in sorted(left)]:
+        plans.append(alias)
+    return plans

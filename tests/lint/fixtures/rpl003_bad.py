@@ -1,0 +1,10 @@
+"""Fixture: wall-clock reads inside kernel task bodies (RPL003)."""
+
+import time
+from datetime import datetime
+
+
+def _join_partition_task(payload):
+    started = time.perf_counter()
+    stamp = datetime.now()
+    return payload, started, stamp

@@ -1,0 +1,13 @@
+"""Fixture: timing on the scheduler side only, RPL003 must accept."""
+
+import time
+
+
+def _join_partition_task(payload):
+    return payload
+
+
+def run_with_timing(payload):
+    started = time.perf_counter()
+    result = _join_partition_task(payload)
+    return result, time.perf_counter() - started

@@ -1,0 +1,16 @@
+"""Fixture: non-picklable callables handed to map_kernel (RPL004)."""
+
+
+def run_lambda(scheduler, payloads):
+    return scheduler.map_kernel(lambda payload: payload, payloads)
+
+
+def run_bound_method(scheduler, kernels, payloads):
+    return scheduler.map_kernel(kernels.partition, payloads)
+
+
+def run_closure(scheduler, payloads, offset):
+    def _shifted_task(payload):
+        return payload + offset
+
+    return scheduler.map_kernel(_shifted_task, payloads)

@@ -1,0 +1,14 @@
+"""Fixture: top-level kernel functions RPL004 must accept."""
+
+
+def _shift_task(payload):
+    value, offset = payload
+    return value + offset
+
+
+def run_top_level(scheduler, payloads):
+    return scheduler.map_kernel(_shift_task, payloads)
+
+
+def run_with_stage(scheduler, payloads):
+    return scheduler.map_kernel(_shift_task, payloads, stage="shift")

@@ -1,0 +1,18 @@
+"""Fixture: materialised relations in task signatures (RPL005)."""
+
+from typing import Optional
+
+from repro.relalg import ChunkedRelation, Relation
+from repro.storage.table import Table
+
+
+def _scan_task(relation: Relation, start: int, stop: int):
+    return relation
+
+
+def _chunk_task(chunked: "ChunkedRelation"):
+    return chunked
+
+
+def _load_task(table: Optional[Table]):
+    return table

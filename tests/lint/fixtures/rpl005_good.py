@@ -1,0 +1,13 @@
+"""Fixture: descriptor payload task signatures RPL005 must accept."""
+
+from typing import Tuple
+
+
+def _scan_task(payload: Tuple[object, int, int]):
+    descriptor, start, stop = payload
+    return descriptor, start, stop
+
+
+def materialize(relation, start: int, stop: int):
+    # Not a *_task function: Relation parameters are fine outside kernels.
+    return relation.slice(start, stop)

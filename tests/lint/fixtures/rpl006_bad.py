@@ -1,0 +1,12 @@
+"""Fixture: shared-memory segments created outside the registry (RPL006)."""
+
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
+
+
+def allocate(nbytes):
+    return SharedMemory(create=True, size=nbytes)
+
+
+def allocate_positional(name, nbytes):
+    return shared_memory.SharedMemory(name, True, nbytes)

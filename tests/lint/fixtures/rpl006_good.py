@@ -1,0 +1,11 @@
+"""Fixture: attach-only shared-memory use RPL006 must accept."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def attach(name):
+    return SharedMemory(name=name)
+
+
+def attach_explicit(name):
+    return SharedMemory(name=name, create=False)

@@ -1,0 +1,10 @@
+"""Fixture: raw segment unlinks outside the registry (RPL007)."""
+
+
+def drop_segment(segment):
+    segment.close()
+    segment.unlink()
+
+
+def drop_by_name(registry, name):
+    registry.segments[name].unlink()

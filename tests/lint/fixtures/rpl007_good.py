@@ -1,0 +1,9 @@
+"""Fixture: ledger-mediated segment release RPL007 must accept."""
+
+
+def drop_segment(registry, name):
+    registry.release(name)
+
+
+def close_only(segment):
+    segment.close()

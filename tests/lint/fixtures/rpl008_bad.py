@@ -1,0 +1,17 @@
+"""Fixture: ad-hoc float reductions outside the canonical helpers (RPL008)."""
+
+import math
+
+import numpy as np
+
+
+def grouped_sum(values, boundaries):
+    return np.add.reduceat(values, boundaries)
+
+
+def compensated_total(values):
+    return math.fsum(values)
+
+
+def nan_total(values):
+    return np.nansum(values)

@@ -1,0 +1,12 @@
+"""Fixture: float aggregation through the canonical helpers (RPL008)."""
+
+from repro.relalg import group_aggregate
+
+
+def grouped_sum(relation, keys, aggregates, scheduler):
+    return group_aggregate(relation, keys, aggregates, scheduler=scheduler)
+
+
+def plain_elementwise(values, other):
+    # Elementwise arithmetic is order-free; only reductions are restricted.
+    return values + other

@@ -1,0 +1,13 @@
+"""Fixture: missing annotations the typing gate must catch (RPL009)."""
+
+
+def untyped_parameter(value) -> int:
+    return int(value)
+
+
+def untyped_return(value: int):
+    return value
+
+
+def untyped_star_args(*args, **kwargs) -> None:
+    del args, kwargs

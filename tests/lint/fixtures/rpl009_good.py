@@ -1,0 +1,15 @@
+"""Fixture: fully annotated functions the typing gate must accept (RPL009)."""
+
+
+class Counter:
+    def __init__(self, start: int = 0) -> None:
+        self.value = start
+
+    def bump(self, by: int = 1) -> int:
+        self.value += by
+        return self.value
+
+
+def typed_star_args(*args: int, **kwargs: object) -> int:
+    del kwargs
+    return sum(args)

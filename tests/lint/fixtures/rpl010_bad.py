@@ -1,0 +1,14 @@
+"""Fixture: mutable default arguments (RPL010)."""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def index(key, mapping={}):
+    return mapping.get(key)
+
+
+def tally(*, seen=set()):
+    return seen

@@ -1,0 +1,15 @@
+"""Fixture: immutable/None defaults RPL010 must accept."""
+
+
+def collect(item, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket
+
+
+def index(key, mapping=None):
+    return (mapping or {}).get(key)
+
+
+def window(bounds=(0, 10)):
+    return bounds

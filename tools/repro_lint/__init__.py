@@ -1,0 +1,45 @@
+"""repro-lint: AST-based invariant checker for the reproduction's contracts.
+
+The runtime property suites (bit-identity, shm leak-freedom, picklability
+round-trips) catch contract violations *after* they ship into a hot path;
+this package catches them at review time.  Each rule encodes one invariant
+the runtime tests otherwise guard dynamically:
+
+* **determinism** — plans and merged results must be pure functions of the
+  inputs (no unseeded RNG, no hash-order iteration feeding plan enumeration
+  or result merges, no wall-clock reads inside kernel task bodies);
+* **picklability** — everything crossing the process boundary must survive
+  ``pickle.dumps`` by module reference (top-level task functions, descriptor
+  payloads — never :class:`~repro.relalg.relation.Relation` objects);
+* **shm lifecycle** — every ``multiprocessing.shared_memory`` segment is
+  created through the :class:`~repro.relalg.shm.SegmentRegistry` and only
+  the registry ever unlinks;
+* **float order** — float aggregation across chunks goes through the
+  canonical ``reduceat``/concatenate helpers so accumulation order (and
+  therefore every bit of the result) never depends on the worker count;
+* **typing** — ``src/repro`` stays fully annotated (the local gate behind
+  the CI ``mypy --strict`` sweep).
+
+Run ``python -m repro_lint <paths>`` from the repository root; see
+``python -m repro_lint --list-rules`` for the rule catalogue and the README
+section *Invariants & static checks* for the contract each code protects.
+"""
+
+from __future__ import annotations
+
+from repro_lint.diagnostics import Diagnostic
+from repro_lint.engine import lint_paths, lint_source
+from repro_lint.registry import REGISTRY, Rule, all_rules, rule_for_code
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Diagnostic",
+    "REGISTRY",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "rule_for_code",
+    "__version__",
+]

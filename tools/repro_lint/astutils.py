@@ -1,0 +1,102 @@
+"""Shared AST helpers: import-alias resolution and small predicates."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map every locally bound import name to its fully qualified origin.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``;
+    ``from numpy.random import default_rng`` →
+    ``{"default_rng": "numpy.random.default_rng"}``.  Imports anywhere in the
+    file (including function-local ones) are collected: alias resolution is
+    deliberately flow-insensitive.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                bound = item.asname or item.name.split(".", 1)[0]
+                target = item.name if item.asname else item.name.split(".", 1)[0]
+                aliases[bound] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:  # relative imports: opaque
+                continue
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+    return aliases
+
+
+def qualified_name(node: ast.expr, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve ``np.random.default_rng``-style expressions to dotted origins.
+
+    Returns ``None`` when the root is not an imported name (locals, call
+    results, subscripts …) — rules treat unresolvable roots as out of scope
+    rather than guessing.
+    """
+    parts = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    root = aliases.get(current.id)
+    if root is None:
+        return None
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def call_keyword(call: ast.Call, name: str) -> Optional[ast.expr]:
+    """The value of keyword argument ``name``, if present."""
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def is_constant(node: Optional[ast.expr], value: object) -> bool:
+    return isinstance(node, ast.Constant) and node.value is value
+
+
+def walk_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, Tuple[ast.AST, ...]]]:
+    """Yield every function/class definition with its enclosing-scope stack.
+
+    The stack contains the chain of ``Module``/``ClassDef``/``FunctionDef``
+    nodes *above* the yielded definition, outermost first.
+    """
+
+    def visit(node: ast.AST, stack: Tuple[ast.AST, ...]) -> Iterator[
+        Tuple[ast.AST, Tuple[ast.AST, ...]]
+    ]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                yield child, stack
+                yield from visit(child, stack + (child,))
+            else:
+                yield from visit(child, stack)
+
+    yield from visit(tree, (tree,))
+
+
+def iteration_targets(tree: ast.Module) -> Iterator[ast.expr]:
+    """Every expression some construct *iterates over*: ``for`` loop iters
+    and comprehension generator iters."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            for generator in node.generators:
+                yield generator.iter

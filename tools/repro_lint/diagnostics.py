@@ -1,0 +1,24 @@
+"""Diagnostic records emitted by repro-lint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a file/line/column location plus a stable rule code.
+
+    Ordering is (path, line, col, code) so reports are deterministic
+    regardless of rule registration or visiting order.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line report form (``path:line:col: CODE msg``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

@@ -1,0 +1,152 @@
+"""File discovery, suppression handling and rule execution."""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from pathlib import Path, PurePosixPath
+from typing import Iterable, List, Optional, Sequence, Set, Type
+
+from repro_lint.diagnostics import Diagnostic
+from repro_lint.registry import FileContext, Rule, all_rules
+
+#: Directories never walked into (fixtures hold *intentional* violations).
+DEFAULT_EXCLUDED_DIRS = frozenset(
+    ("__pycache__", ".git", ".venv", "build", "dist", ".mypy_cache")
+)
+DEFAULT_EXCLUDED_SUFFIXES = ("tests/lint/fixtures",)
+
+#: ``# repro-lint: ignore`` or ``# repro-lint: ignore[RPL001,RPL002]``.
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]+)\])?"
+)
+
+
+def _suppressed_codes(line: str) -> Optional[Set[str]]:
+    """Codes suppressed on ``line`` (empty set = all codes), else ``None``."""
+    match = _SUPPRESSION_RE.search(line)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if codes is None:
+        return set()
+    return {code.strip() for code in codes.split(",") if code.strip()}
+
+
+def _is_suppressed(diagnostic: Diagnostic, lines: Sequence[str]) -> bool:
+    if not 1 <= diagnostic.line <= len(lines):
+        return False
+    codes = _suppressed_codes(lines[diagnostic.line - 1])
+    if codes is None:
+        return False
+    return not codes or diagnostic.code in codes
+
+
+def select_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Type[Rule]]:
+    """The rule classes active under ``--select`` / ``--ignore`` filters."""
+    rules = all_rules()
+    known = {rule.code for rule in rules}
+    for requested in list(select or []) + list(ignore or []):
+        if requested not in known:
+            raise ValueError(f"unknown rule code {requested!r}")
+    if select is not None:
+        wanted = set(select)
+        rules = [rule for rule in rules if rule.code in wanted]
+    if ignore is not None:
+        dropped = set(ignore)
+        rules = [rule for rule in rules if rule.code not in dropped]
+    return rules
+
+
+def lint_source(
+    source: str,
+    path: str,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Diagnostic]:
+    """Lint one in-memory source under a (possibly virtual) path.
+
+    ``path`` drives rule scoping, so the fixture tests can exercise a
+    path-scoped rule by passing e.g. ``src/repro/plans/_fixture.py``.
+    """
+    posix = PurePosixPath(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                posix.as_posix(),
+                exc.lineno or 1,
+                (exc.offset or 1) - 1,
+                "RPL000",
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    lines = source.splitlines()
+    context = FileContext(path=posix, tree=tree, source=source, lines=lines)
+    diagnostics: List[Diagnostic] = []
+    for rule_class in select_rules(select, ignore):
+        rule = rule_class()
+        if not rule.applies_to(posix):
+            continue
+        for diagnostic in rule.check(context):
+            if not _is_suppressed(diagnostic, lines):
+                diagnostics.append(diagnostic)
+    return sorted(diagnostics)
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Directory walks skip :data:`DEFAULT_EXCLUDED_DIRS` and anything under a
+    :data:`DEFAULT_EXCLUDED_SUFFIXES` directory (the lint fixtures, which
+    contain violations on purpose); explicitly passed files are always
+    linted, exclusions notwithstanding.
+    """
+    discovered: Set[str] = set()
+    for entry in paths:
+        path = Path(entry)
+        if path.is_file():
+            discovered.add(path.as_posix())
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {entry}")
+        for dirpath, dirnames, filenames in os.walk(path):
+            posix_dir = PurePosixPath(Path(dirpath).as_posix()).as_posix()
+            dirnames[:] = sorted(
+                name
+                for name in dirnames
+                if name not in DEFAULT_EXCLUDED_DIRS
+                and not _excluded_dir(f"{posix_dir}/{name}")
+            )
+            if _excluded_dir(posix_dir):
+                continue
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    discovered.add(f"{posix_dir}/{filename}")
+    return sorted(discovered)
+
+
+def _excluded_dir(posix_dir: str) -> bool:
+    normalized = posix_dir.rstrip("/")
+    return any(
+        normalized.endswith(suffix) or (suffix + "/") in (normalized + "/")
+        for suffix in DEFAULT_EXCLUDED_SUFFIXES
+    )
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Diagnostic]:
+    """Lint every ``.py`` file under ``paths``; sorted diagnostics."""
+    diagnostics: List[Diagnostic] = []
+    for file_path in discover_files(paths):
+        text = Path(file_path).read_text(encoding="utf-8")
+        diagnostics.extend(lint_source(text, file_path, select, ignore))
+    return sorted(diagnostics)

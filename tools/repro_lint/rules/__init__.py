@@ -1,0 +1,12 @@
+"""Rule modules — importing this package registers every rule."""
+
+from __future__ import annotations
+
+from repro_lint.rules import (  # noqa: F401  (imported for registration)
+    determinism,
+    float_order,
+    hygiene,
+    picklability,
+    shm_lifecycle,
+    typing_gate,
+)

@@ -1,0 +1,58 @@
+"""Hygiene rule: RPL010 — no mutable default arguments.
+
+A mutable default is shared across every call of the function: state leaks
+between queries, between benchmark repetitions, and — worst for this
+codebase — between the serial and parallel runs a bit-identity test
+compares, making the second run see the first run's accumulations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro_lint.diagnostics import Diagnostic
+from repro_lint.registry import FileContext, Rule, register
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("list", "dict", "set", "bytearray")
+    )
+
+
+@register
+class MutableDefaultRule(Rule):
+    code = "RPL010"
+    name = "mutable-default"
+    summary = "no mutable default arguments (list/dict/set literals or calls)"
+    contract = (
+        "determinism + isolation — a mutable default is one object shared "
+        "by every call, so state from one query/run leaks into the next; "
+        "use None and construct inside the body (runtime guard: whichever "
+        "property test happens to run the function twice)"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            for default in list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]:
+                if _is_mutable_default(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield Diagnostic(
+                        context.path.as_posix(),
+                        default.lineno,
+                        default.col_offset,
+                        self.code,
+                        f"mutable default argument in {name!r} is shared "
+                        "across calls; default to None and build the "
+                        "container in the body",
+                    )
