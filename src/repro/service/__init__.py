@@ -1,6 +1,8 @@
 """The query service layer: prepared statements served through a
 sampling-validated plan cache, an epoch-stamped result cache and client-fair
-admission control (see :mod:`repro.service.service`)."""
+admission control (see :mod:`repro.service.service`), plus the sharded
+scatter-gather coordinator over hash-partitioned catalog slices
+(:mod:`repro.service.coordinator`, :mod:`repro.service.sharding`)."""
 
 from __future__ import annotations
 
@@ -15,11 +17,22 @@ from repro.service.cache import (
     ResultCacheStats,
     max_drift,
 )
+from repro.service.coordinator import (
+    ShardedQueryService,
+    ShardedServiceStats,
+)
 from repro.service.service import (
     QueryService,
     ServiceResult,
     ServiceSettings,
     ServiceStats,
+)
+from repro.service.sharding import (
+    ShardRouting,
+    ShardingSpec,
+    hash_partition,
+    route_query,
+    shard_database,
 )
 from repro.service.templates import (
     PreparedStatement,
@@ -39,7 +52,14 @@ __all__ = [
     "ServiceResult",
     "ServiceSettings",
     "ServiceStats",
+    "ShardRouting",
+    "ShardedQueryService",
+    "ShardedServiceStats",
+    "ShardingSpec",
     "StatementRegistry",
+    "hash_partition",
     "max_drift",
     "prepare_statement",
+    "route_query",
+    "shard_database",
 ]

@@ -26,7 +26,7 @@ from typing import Dict, Optional, Tuple
 # Note: per-template serialization of validation/replan lives in the
 # service's ``_template_locks`` map, not on the entries themselves.
 
-from repro.cardinality.gamma import JoinSet
+from repro.cardinality.gamma import Gamma, JoinSet
 from repro.executor.executor import ExecutionResult
 from repro.optimizer.optimizer import PlanningSession
 from repro.plans.nodes import PlanNode
@@ -114,6 +114,14 @@ class PlanCacheEntry:
     #: template's plans; kept so GEQO templates carry their winning join
     #: order across bindings (see ``PlanningSession.rebind``).
     session: Optional[PlanningSession] = None
+    #: Exact cardinalities gossiped in from sibling shards of a
+    #: :class:`~repro.service.coordinator.ShardedQueryService`.  Hash
+    #: partitioning keeps shards statistically symmetric, so one shard's
+    #: *executed* join-set cardinality is the best available estimate for
+    #: its siblings: the gossip both corrects ``expectations`` (the drift
+    #: guard compares against gossiped truth instead of a stale sample) and
+    #: warm-starts the next replan's Γ with exact-provenance entries.
+    gossip: Gamma = field(default_factory=Gamma)
     #: How many executions reused this plan (validated or unguarded).
     reuses: int = 0
     #: How many binding validations ran against the entry.

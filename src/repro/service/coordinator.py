@@ -1,0 +1,564 @@
+"""The sharded scatter-gather query service.
+
+:class:`ShardedQueryService` serves one logical database from ``N``
+in-process :class:`~repro.service.service.QueryService` shards.  Each shard
+owns a hash-partitioned catalog slice (:mod:`repro.service.sharding`) with
+its own ANALYZE statistics, sample tables, plan cache, result cache and
+admission gate; the coordinator parses and fingerprints each statement
+once, routes it, and merges shard results **bit-identically** to what one
+single-node service over the unsharded catalog returns:
+
+``scatter`` + *partial merge*
+    Aggregate queries whose aggregates compose exactly across shards
+    (``COUNT``/``MIN``/``MAX`` always; ``SUM``/``AVG`` over integer-typed
+    columns, with ``AVG`` decomposed into sum+count) run on every shard,
+    each shard reducing its fragment to a partial with
+    :func:`~repro.relalg.aggregate.partial_aggregate`; the coordinator
+    merges partials in canonical sorted-shard order with
+    :func:`~repro.relalg.aggregate.merge_partials`.
+
+``scatter`` + *gather merge*
+    Order-sensitive outputs (bare projections, float ``SUM``/``AVG``) ship
+    their join fragments back; the coordinator concatenates them in sorted
+    shard order, applies the adaptive executor's canonical full-column row
+    order, and runs the final projection/aggregation centrally — the same
+    :func:`~repro.service.service.finalize_canonical_execution` the
+    single-node service uses, so the output bytes match by construction.
+
+``single``
+    Replicated-only queries are answered exactly by shard 0 through its
+    full serving stack (result cache, plan cache, admission).
+
+``fallback``
+    Queries joining partitioned tables off their partition columns run on
+    an unsharded fallback service over the source catalog.
+
+Scatter work travels over the PR-6 process scheduler: the shard task is a
+top-level picklable kernel whose payload carries a registry token, never a
+catalog or relation — fork-started workers inherit the shard catalogs by
+copy-on-write.  Workers that never inherited the registration (external
+pre-forked pools, spawn platforms) return a sentinel and the coordinator
+re-runs those shards inline, trading speed, never correctness.
+
+After every scatter the coordinator runs **exact-Γ gossip**: each shard's
+executed fragment yields exact join-set cardinalities
+(:meth:`~repro.executor.executor.ExecutionResult.actual_cardinalities`),
+and the coordinator broadcasts every shard's exact entries to its
+*siblings'* plan caches (:meth:`QueryService.apply_gamma_gossip`), so a
+mis-estimate observed on one shard corrects the drift guard and the next
+replan's warm-start Γ on all of them before they replan.
+
+Every loop over shards in this module runs in canonical sorted shard-id
+order — merge determinism depends on it (repro-lint RPL011).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cardinality.gamma import Gamma
+from repro.cost.model import CostModel, ResourceVector
+from repro.cost.units import CostUnits
+from repro.executor.executor import (
+    ExecutionResult,
+    Executor,
+    NodeExecution,
+    required_columns,
+)
+from repro.executor.materialization import IntermediateRegistry, canonicalize_relation
+from repro.optimizer.settings import OptimizerSettings
+from repro.plans.nodes import MaterializedNode, PlanNode
+from repro.relalg import Relation, TaskScheduler, concat_relations
+from repro.relalg.aggregate import merge_partials, partial_aggregate, partial_merge_exact
+from repro.relalg.encoding import ColumnData
+from repro.reopt.algorithm import ReoptimizationSettings
+from repro.service.admission import AdmissionController, AdmissionStats
+from repro.service.cache import ResultCache, ResultCacheStats
+from repro.service.service import (
+    QueryService,
+    ServiceResult,
+    ServiceSettings,
+    combine_execution_accounting,
+    finalize_canonical_execution,
+    split_final_aggregate,
+)
+from repro.service.sharding import (
+    ShardingSpec,
+    exact_partial_columns,
+    lookup_shard,
+    register_shards,
+    route_query,
+    shard_database,
+    unregister_shards,
+)
+from repro.service.templates import PreparedStatement, StatementRegistry
+from repro.sql.ast import Bindings, Query
+from repro.storage.catalog import Database
+
+__all__ = ["ShardedQueryService", "ShardedServiceStats"]
+
+
+@dataclass
+class ShardedServiceStats:
+    """Lifetime counters of one :class:`ShardedQueryService` coordinator.
+
+    Per-shard planning/caching counters live on each shard's own
+    :class:`~repro.service.service.ServiceStats`.
+    """
+
+    queries: int = 0
+    #: Executions answered from the coordinator's merged-result cache.
+    result_cache_hits: int = 0
+    #: Executions scattered to every shard.
+    scatter_queries: int = 0
+    #: ... merged through exact partial aggregates.
+    partial_merges: int = 0
+    #: ... merged through canonical-order gather.
+    gather_merges: int = 0
+    #: Replicated-only executions answered by shard 0 alone.
+    single_shard_queries: int = 0
+    #: Executions served by the unsharded fallback service.
+    fallback_queries: int = 0
+    #: Shard fragments re-run inline because a worker lacked the registry.
+    inline_shard_reruns: int = 0
+    #: Exact Γ entries delivered to sibling shards' plan caches.
+    gossip_entries: int = 0
+    #: Requests shed by the coordinator's admission gate.
+    rejected: int = 0
+
+
+#: Scatter payload: ``(token, shard_id, plan, bound query, mode,
+#: morsel_rows, nested_loop_block_elements, cost_units)`` — descriptor-sized
+#: (a registry token and plan metadata), never a catalog or columns.
+_ShardPayload = Tuple[str, int, PlanNode, Query, str, int, Optional[int], CostUnits]
+
+#: Scatter outcome: ``("ok", columns, num_rows, node_executions, wall)`` or
+#: ``("missing", shard_id, 0, [], 0.0)`` from a worker without the registry.
+_ShardOutcome = Tuple[str, Dict[str, ColumnData], int, List[NodeExecution], float]
+
+
+def _execute_shard(db: Database, payload: _ShardPayload) -> _ShardOutcome:
+    """Run one shard's residual plan and reduce it for transport.
+
+    The join fragment executes with a serial executor (the shard task *is*
+    the unit of parallelism).  ``partial`` mode reduces the fragment to a
+    partial aggregate before it crosses the queue; ``gather`` mode ships
+    the raw fragment columns for central canonical-order merging.
+    """
+    _, shard_id, plan, query, mode, morsel_rows, block_elements, cost_units = payload
+    executor = Executor(
+        db,
+        cost_units=cost_units,
+        scheduler=None,
+        morsel_rows=morsel_rows,
+        nested_loop_block_elements=block_elements,
+    )
+    join_plan, _ = split_final_aggregate(plan)
+    required = required_columns(plan, query)
+    fragment = executor.execute_fragment(join_plan, required)
+    relation = fragment.columns
+    if mode == "partial":
+        relation = partial_aggregate(relation, query.group_by, query.aggregates)
+    return (
+        "ok",
+        dict(relation),
+        relation.num_rows,
+        list(fragment.node_executions),
+        fragment.wall_seconds,
+    )
+
+
+def _shard_fragment_task(payload: _ShardPayload) -> _ShardOutcome:
+    """Top-level scatter kernel: resolve the shard catalog, run, reduce.
+
+    Returns the ``"missing"`` sentinel instead of raising when this worker
+    never inherited the shard registration — the coordinator re-runs the
+    shard inline; an exception here would fail the whole batch.
+    """
+    token, shard_id = payload[0], payload[1]
+    db = lookup_shard(token, shard_id)
+    if db is None:
+        return ("missing", {}, 0, [], 0.0)
+    return _execute_shard(db, payload)
+
+
+class ShardedQueryService:
+    """Serve one logical database from N hash-partitioned service shards."""
+
+    def __init__(
+        self,
+        db: Database,
+        num_shards: int = 4,
+        spec: Optional[ShardingSpec] = None,
+        optimizer_settings: Optional[OptimizerSettings] = None,
+        reopt_settings: Optional[ReoptimizationSettings] = None,
+        settings: Optional[ServiceSettings] = None,
+        scheduler: Optional[TaskScheduler] = None,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.db = db
+        self.num_shards = num_shards
+        self.spec = spec if spec is not None else ShardingSpec.tpch()
+        self.settings = settings if settings is not None else ServiceSettings()
+        self.reopt_settings = (
+            reopt_settings if reopt_settings is not None else ReoptimizationSettings()
+        )
+        shard_dbs = shard_database(
+            db,
+            num_shards,
+            self.spec,
+            sampling_ratio=self.reopt_settings.sampling_ratio,
+            sampling_seed=self.reopt_settings.sampling_seed,
+        )
+        #: Registered before the scheduler's process pool can spawn, so
+        #: fork-started workers inherit the shard catalogs.
+        self._registry_token = register_shards(db.name, shard_dbs)
+        self._owns_scheduler = scheduler is None
+        self.scheduler = (
+            scheduler
+            if scheduler is not None
+            else TaskScheduler(workers=num_shards, name="sharded")
+        )
+        self.statements = StatementRegistry(
+            max_entries=self.settings.statement_registry_entries
+        )
+        #: One full serving stack per shard, all on the shared scheduler.
+        self.shards: List[QueryService] = [
+            QueryService(
+                shard_db,
+                optimizer_settings=optimizer_settings,
+                reopt_settings=reopt_settings,
+                settings=self.settings,
+                scheduler=self.scheduler,
+            )
+            for shard_db in shard_dbs
+        ]
+        #: Unsharded service answering queries the shards cannot.
+        self.fallback = QueryService(
+            db,
+            optimizer_settings=optimizer_settings,
+            reopt_settings=reopt_settings,
+            settings=self.settings,
+            scheduler=self.scheduler,
+        )
+        self.result_cache = ResultCache(max_entries=self.settings.result_cache_entries)
+        self.admission = AdmissionController(
+            max_concurrent=self.settings.max_concurrent,
+            max_queued=self.settings.max_queued,
+        )
+        self.stats = ShardedServiceStats()
+        self._cost_model = CostModel(
+            units=self.fallback.optimizer.settings.cost_units
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop the coordinator, its shards, and the owned scheduler."""
+        self._closed = True
+        unregister_shards(self._registry_token)
+        for shard in self.shards:  # construction order == sorted shard ids
+            shard.close()
+        self.fallback.close()
+        if self._owns_scheduler:
+            self.scheduler.close()
+
+    def __enter__(self) -> "ShardedQueryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def prepare(
+        self, statement: Union[str, Query, PreparedStatement], name: Optional[str] = None
+    ) -> PreparedStatement:
+        """Normalize and register a prepared statement (idempotent)."""
+        return self.statements.register(statement, name=name)
+
+    def execute(
+        self,
+        statement: Union[str, Query, PreparedStatement],
+        params: Optional[Bindings] = None,
+        client: str = "default",
+    ) -> ServiceResult:
+        """Serve one execution, routed across the shards."""
+        if self._closed:
+            raise RuntimeError("ShardedQueryService is closed")
+        started = time.perf_counter()
+        prepared = self.prepare(statement)
+        bound = prepared.bind(params)
+        routing = route_query(bound, self.spec)
+        if routing.mode == "single":
+            result = self.shards[0].execute(prepared, params, client=client)
+            self.stats.queries += 1
+            self.stats.single_shard_queries += 1
+            return result
+        if routing.mode == "fallback":
+            result = self.fallback.execute(prepared, params, client=client)
+            self.stats.queries += 1
+            self.stats.fallback_queries += 1
+            return result
+
+        binding = prepared.binding_key(params)
+        epochs = self._epoch_snapshot(prepared)
+        cache_key = ResultCache.key(prepared.fingerprint, binding, epochs)
+        if self.settings.use_result_cache:
+            cached = self.result_cache.get(cache_key)
+            if cached is not None:
+                self.stats.queries += 1
+                self.stats.result_cache_hits += 1
+                result = self._cached_result(prepared, bound, cached)
+                result.wall_seconds = time.perf_counter() - started
+                return result
+        try:
+            with self.admission.admit(client, timeout=self.settings.admission_timeout):
+                result = self._serve_scatter(prepared, bound)
+        except Exception:
+            self.stats.rejected += 1
+            raise
+        if self.settings.use_result_cache:
+            self.result_cache.put(cache_key, result.execution)
+        self.stats.queries += 1
+        self.stats.scatter_queries += 1
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    def admission_stats(self) -> AdmissionStats:
+        return self.admission.stats_snapshot()
+
+    def result_cache_stats(self) -> ResultCacheStats:
+        return self.result_cache.stats
+
+    # ------------------------------------------------------------------ #
+    # Scatter-gather serving
+    # ------------------------------------------------------------------ #
+    def _epoch_snapshot(self, prepared: PreparedStatement) -> Tuple:
+        """Combined shard epochs, in canonical sorted shard-id order."""
+        return tuple(
+            shard.db.epoch_snapshot(prepared.tables) for shard in self.shards
+        )
+
+    def _cached_result(
+        self, prepared: PreparedStatement, bound: Query, cached: ExecutionResult
+    ) -> ServiceResult:
+        plan = MaterializedNode(
+            relations=frozenset(bound.aliases),
+            estimated_rows=float(cached.num_rows),
+            estimated_cost=0.0,
+        )
+        return ServiceResult(
+            statement=prepared,
+            query=bound,
+            execution=cached,
+            plan=plan,
+            source="result_cache",
+        )
+
+    def _merge_mode(self, bound: Query) -> str:
+        """``partial`` when every aggregate composes exactly, else ``gather``."""
+        if bound.aggregates and partial_merge_exact(
+            bound.aggregates, exact_partial_columns(self.db, bound)
+        ):
+            return "partial"
+        return "gather"
+
+    def _scatter(
+        self, plans: Sequence[PlanNode], bound: Query, mode: str
+    ) -> List[_ShardOutcome]:
+        """Run every shard's residual plan over the process scheduler.
+
+        Payloads go out in shard-id order and ``map_kernel`` returns in
+        submission order, so the outcomes come back canonically ordered.
+        Workers without the shard registry (``"missing"``) are re-run
+        inline in the coordinator process.
+        """
+        cost_units = self.fallback.optimizer.settings.cost_units
+        payloads: List[_ShardPayload] = [
+            (
+                self._registry_token,
+                shard_id,
+                plans[shard_id],
+                bound,
+                mode,
+                self.settings.morsel_rows,
+                self.fallback.optimizer.settings.nested_loop_block_elements,
+                cost_units,
+            )
+            for shard_id in range(self.num_shards)
+        ]
+        outcomes = self.scheduler.map_kernel(
+            _shard_fragment_task, payloads, account="sharded-scatter"
+        )
+        for shard_id in range(self.num_shards):
+            if outcomes[shard_id][0] == "missing":
+                outcomes[shard_id] = _execute_shard(
+                    self.shards[shard_id].db, payloads[shard_id]
+                )
+                self.stats.inline_shard_reruns += 1
+        return outcomes
+
+    def _merge_partial(
+        self, outcomes: Sequence[_ShardOutcome], bound: Query
+    ) -> ExecutionResult:
+        """Merge per-shard partial aggregates (canonical shard order)."""
+        parts = [
+            Relation(columns, num_rows=num_rows)
+            for _, columns, num_rows, _, _ in outcomes
+        ]
+        merged = merge_partials(parts, bound.group_by, bound.aggregates).decoded()
+        node_executions = [
+            execution for outcome in outcomes for execution in outcome[3]
+        ]
+        input_rows = sum(part.num_rows for part in parts)
+        node_executions.append(
+            NodeExecution(
+                relations=frozenset(bound.aliases),
+                kind="aggregate",
+                actual_rows=merged.num_rows,
+                estimated_rows=float(merged.num_rows),
+                resources=self._cost_model.aggregate_resources(
+                    input_rows, merged.num_rows
+                ),
+            )
+        )
+        total = ResourceVector()
+        for execution in node_executions:
+            total = total + execution.resources
+        result = ExecutionResult(
+            columns=merged,
+            num_rows=merged.num_rows,
+            node_executions=node_executions,
+        )
+        result.actual_resources = total
+        result.simulated_cost = self._cost_model.cost(total)
+        result.wall_seconds = sum(outcome[4] for outcome in outcomes)
+        return result
+
+    def _merge_gather(
+        self,
+        outcomes: Sequence[_ShardOutcome],
+        plans: Sequence[PlanNode],
+        bound: Query,
+    ) -> ExecutionResult:
+        """Concatenate shard fragments and finish centrally.
+
+        Fragments concatenate in canonical shard order, then take the
+        adaptive executor's canonical full-column row order — a pure
+        function of the row multiset, which the disjoint shard union
+        preserves — so the central final stage sees byte-for-byte the rows
+        a single-node canonical execution sees.
+        """
+        fragments = [
+            Relation(columns, num_rows=num_rows)
+            for _, columns, num_rows, _, _ in outcomes
+        ]
+        combined = concat_relations(fragments)
+        canonical = canonicalize_relation(combined)
+        join_plan, aggregate_node = split_final_aggregate(plans[0])
+        registry = IntermediateRegistry()
+        executor = Executor(
+            self.db,
+            cost_units=self.fallback.optimizer.settings.cost_units,
+            scheduler=self.scheduler,
+            morsel_rows=self.settings.morsel_rows,
+            nested_loop_block_elements=(
+                self.fallback.optimizer.settings.nested_loop_block_elements
+            ),
+            intermediates=registry,
+        )
+        final_execution = finalize_canonical_execution(
+            executor,
+            registry,
+            bound,
+            canonical,
+            aggregate_node,
+            source_signature=join_plan.signature(),
+        )
+        shard_results = []
+        for _, _, num_rows, node_executions, wall_seconds in outcomes:
+            part = ExecutionResult(
+                columns=Relation(), num_rows=num_rows, node_executions=node_executions
+            )
+            part.wall_seconds = wall_seconds
+            shard_results.append(part)
+        return combine_execution_accounting(
+            shard_results, final_execution, self._cost_model
+        )
+
+    def _gossip(
+        self, prepared: PreparedStatement, outcomes: Sequence[_ShardOutcome]
+    ) -> int:
+        """Broadcast each shard's exact Γ entries to its siblings.
+
+        Hash partitioning keeps shards statistically symmetric, so an exact
+        cardinality executed on one shard is the best estimate of the same
+        join set on every other.  Senders merge in ascending shard order
+        (later shards win ties) and every receiver gets the combined view
+        of all its siblings.
+        """
+        gammas: List[Gamma] = []
+        for _, _, _, node_executions, _ in outcomes:
+            gamma = Gamma()
+            for execution in node_executions:
+                if execution.kind != "aggregate":
+                    gamma.record_exact(execution.relations, float(execution.actual_rows))
+            gammas.append(gamma)
+        applied = 0
+        for receiver in range(self.num_shards):
+            combined = Gamma()
+            for sender in range(self.num_shards):
+                if sender != receiver:
+                    combined.merge(gammas[sender])
+            if len(combined):
+                applied += self.shards[receiver].apply_gamma_gossip(
+                    prepared.fingerprint, combined
+                )
+        self.stats.gossip_entries += applied
+        return applied
+
+    def _serve_scatter(
+        self, prepared: PreparedStatement, bound: Query
+    ) -> ServiceResult:
+        """Plan per shard, scatter, merge bit-identically, gossip Γ."""
+        plans: List[PlanNode] = []
+        sources: List[str] = []
+        worst_drift: Optional[float] = None
+        validation_seconds = 0.0
+        planning_seconds = 0.0
+        for shard in self.shards:  # canonical shard order
+            plan, source, drift, shard_validation, shard_planning = shard._plan_for(
+                prepared, bound
+            )
+            plans.append(plan)
+            sources.append(source)
+            validation_seconds += shard_validation
+            planning_seconds += shard_planning
+            if drift is not None:
+                worst_drift = drift if worst_drift is None else max(worst_drift, drift)
+        mode = self._merge_mode(bound)
+        outcomes = self._scatter(plans, bound, mode)
+        if mode == "partial":
+            execution = self._merge_partial(outcomes, bound)
+            self.stats.partial_merges += 1
+        else:
+            execution = self._merge_gather(outcomes, plans, bound)
+            self.stats.gather_merges += 1
+        self._gossip(prepared, outcomes)
+        return ServiceResult(
+            statement=prepared,
+            query=bound,
+            execution=execution,
+            plan=plans[0],
+            source=f"scatter_{mode}",
+            drift=worst_drift,
+            validation_seconds=validation_seconds,
+            planning_seconds=planning_seconds,
+        )

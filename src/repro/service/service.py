@@ -38,7 +38,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.cardinality.gamma import Gamma
 from repro.cardinality.sampling_estimator import validate_plan_for_bindings
@@ -48,7 +48,7 @@ from repro.executor.executor import (
     required_columns,
 )
 from repro.executor.materialization import IntermediateRegistry, canonicalize_relation
-from repro.cost.model import ResourceVector
+from repro.cost.model import CostModel, ResourceVector
 from repro.optimizer.optimizer import Optimizer, PlanningSession
 from repro.optimizer.settings import OptimizerSettings
 from repro.plans.join_tree import rebind_plan
@@ -63,7 +63,15 @@ from repro.service.templates import PreparedStatement, StatementRegistry
 from repro.sql.ast import Bindings, Query
 from repro.storage.catalog import Database
 
-__all__ = ["QueryService", "ServiceResult", "ServiceSettings", "ServiceStats"]
+__all__ = [
+    "QueryService",
+    "ServiceResult",
+    "ServiceSettings",
+    "ServiceStats",
+    "combine_execution_accounting",
+    "finalize_canonical_execution",
+    "split_final_aggregate",
+]
 
 
 @dataclass(frozen=True)
@@ -131,6 +139,9 @@ class ServiceStats:
     fresh_plans: int = 0
     #: Requests shed by admission control.
     rejected: int = 0
+    #: Exact Γ entries merged in from sibling shards (sharded serving only;
+    #: see :meth:`QueryService.apply_gamma_gossip`).
+    gossip_entries: int = 0
     #: Wall-clock seconds spent validating cached plans over samples.
     validation_seconds: float = 0.0
     #: Wall-clock seconds spent inside Algorithm 1 (fresh plans + replans).
@@ -164,6 +175,78 @@ class ServiceResult:
     @property
     def columns(self) -> Relation:
         return self.execution.columns
+
+
+def split_final_aggregate(plan: PlanNode) -> Tuple[PlanNode, Optional[AggregateNode]]:
+    """Split ``plan`` into its join pipeline and the final aggregate, if any."""
+    if isinstance(plan, AggregateNode):
+        if plan.child is None:
+            raise ValueError("aggregate node is missing its input")
+        return plan.child, plan
+    return plan, None
+
+
+def finalize_canonical_execution(
+    executor: Executor,
+    registry: IntermediateRegistry,
+    query: Query,
+    relation: Relation,
+    aggregate_node: Optional[AggregateNode],
+    source_signature: str,
+) -> ExecutionResult:
+    """Run the output stage of ``query`` over a canonical-order relation.
+
+    ``relation`` is the full join result in canonical full-column order
+    (:func:`~repro.executor.materialization.canonicalize_relation`) —
+    produced locally by :meth:`QueryService._execute_plan`, or merged from
+    shard fragments by the sharded coordinator.  It is stored in
+    ``registry`` (which must be the ``executor``'s intermediate registry)
+    and the final projection/aggregation runs over a materialized leaf, so
+    the output bytes depend only on the relation's rows, never on the plan
+    that produced them.
+    """
+    full_set = frozenset(query.aliases)
+    registry.store(full_set, relation, source_signature=source_signature)
+    final_plan: PlanNode = MaterializedNode(
+        relations=full_set,
+        estimated_rows=float(relation.num_rows),
+        estimated_cost=0.0,
+    )
+    if aggregate_node is not None:
+        final_plan = replace(aggregate_node, child=final_plan)
+    return executor.execute_plan(final_plan, query)
+
+
+def combine_execution_accounting(
+    parts: Sequence[ExecutionResult],
+    final: ExecutionResult,
+    cost_model: CostModel,
+) -> ExecutionResult:
+    """Merge fragment executions with the final stage into one result.
+
+    The combined result reports the final stage's rows, the concatenation
+    of every part's per-node instrumentation (parts first, in the given
+    order), resources and simulated cost summed across all of it, and
+    ``wall_seconds`` as total *work* (the sum), not elapsed time.
+    """
+    node_executions = [
+        execution for part in parts for execution in part.node_executions
+    ]
+    node_executions.extend(final.node_executions)
+    total = ResourceVector()
+    for execution in node_executions:
+        total = total + execution.resources
+    merged = ExecutionResult(
+        columns=final.columns,
+        num_rows=final.num_rows,
+        node_executions=node_executions,
+    )
+    merged.actual_resources = total
+    merged.simulated_cost = cost_model.cost(total)
+    merged.wall_seconds = (
+        sum(part.wall_seconds for part in parts) + final.wall_seconds
+    )
+    return merged
 
 
 class QueryService:
@@ -306,6 +389,38 @@ class QueryService:
     def plan_cache_size(self) -> int:
         with self._plan_cache_guard:
             return len(self._plan_cache)
+
+    def apply_gamma_gossip(self, fingerprint: Tuple, gossip: Gamma) -> int:
+        """Merge sibling shards' exact Γ observations into a cached template.
+
+        Called by the sharded coordinator after any shard executes the
+        template: every *exact* entry of ``gossip`` is recorded into the
+        entry's gossip Γ and overwrites the matching drift-guard
+        expectation, so this shard's next validation compares its Δ against
+        observed truth instead of the stale sample the plan was chosen
+        under — and its next replan warm-starts from exact-provenance
+        entries.  Hash partitioning keeps shards statistically symmetric,
+        which is what makes a sibling's executed cardinality the best
+        available estimate here.  Join sets are applied in canonical sorted
+        order.  Returns the number of entries applied (0 when the template
+        has no cached plan on this shard).
+        """
+        with self._template_lock(fingerprint):
+            entry = self._plan_cache_get(fingerprint)
+            if entry is None:
+                return 0
+            applied = 0
+            for join_set in sorted(gossip.exact_join_sets(), key=sorted):
+                value = gossip.get(join_set)
+                if value is None:
+                    continue
+                entry.gossip.record(join_set, value, exact=True)
+                entry.expectations[join_set] = float(value)
+                applied += 1
+        if applied:
+            with self._stats_lock:
+                self.stats.gossip_entries += applied
+        return applied
 
     # ------------------------------------------------------------------ #
     # Serving pipeline
@@ -553,6 +668,11 @@ class QueryService:
             entry.rejections += 1
             planning_started = time.perf_counter()
             gamma = Gamma()
+            # Sibling-shard exact observations first, the fresh Δ second:
+            # exact provenance survives the sampled merge (a sampled value
+            # never downgrades an exact one), and join sets only the gossip
+            # covers still seed the replan.
+            gamma.merge(entry.gossip)
             gamma.merge(validation.cardinalities)
             session = (
                 entry.session.rebind(bound) if entry.session is not None else None
@@ -613,38 +733,20 @@ class QueryService:
         if not needs_canonical_order(query):
             return self._make_executor().execute_plan(plan, query)
 
-        if isinstance(plan, AggregateNode):
-            join_plan, aggregate_node = plan.child, plan
-        else:
-            join_plan, aggregate_node = plan, None
+        join_plan, aggregate_node = split_final_aggregate(plan)
         registry = IntermediateRegistry()
         executor = self._make_executor(registry)
         required = required_columns(plan, query)
         fragment = executor.execute_fragment(join_plan, required)
         relation = canonicalize_relation(fragment.columns)
-        full_set = frozenset(query.aliases)
-        registry.store(full_set, relation, source_signature=join_plan.signature())
-        final_plan: PlanNode = MaterializedNode(
-            relations=full_set,
-            estimated_rows=float(relation.num_rows),
-            estimated_cost=0.0,
+        final_execution = finalize_canonical_execution(
+            executor,
+            registry,
+            query,
+            relation,
+            aggregate_node,
+            source_signature=join_plan.signature(),
         )
-        if aggregate_node is not None:
-            final_plan = replace(aggregate_node, child=final_plan)
-        final_execution = executor.execute_plan(final_plan, query)
-
-        node_executions = list(fragment.node_executions) + list(
-            final_execution.node_executions
+        return combine_execution_accounting(
+            [fragment], final_execution, executor.cost_model
         )
-        total = ResourceVector()
-        for execution in node_executions:
-            total = total + execution.resources
-        merged = ExecutionResult(
-            columns=final_execution.columns,
-            num_rows=final_execution.num_rows,
-            node_executions=node_executions,
-        )
-        merged.actual_resources = total
-        merged.simulated_cost = executor.cost_model.cost(total)
-        merged.wall_seconds = fragment.wall_seconds + final_execution.wall_seconds
-        return merged

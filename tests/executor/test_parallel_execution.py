@@ -35,7 +35,7 @@ def force_parallel(monkeypatch):
 
 @pytest.fixture(scope="module")
 def scheduler():
-    with TaskScheduler(workers=4, name="test-exec") as sched:
+    with TaskScheduler(workers=4, name="test-exec", backend="process") as sched:
         yield sched
 
 

@@ -1,0 +1,24 @@
+"""RPL011 bad fixture: shard/merge loops whose order is insertion- or
+hash-dependent — each would let two runs of the same scatter merge in a
+different order."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+
+def broadcast_gossip(shards: Dict[int, object], gamma: object) -> None:
+    for shard in shards.values():  # violation: dict-view (arrival) order
+        shard.apply_gamma_gossip(gamma)  # type: ignore[attr-defined]
+
+
+def merge_columns(partials: Dict[str, List[float]]) -> List[List[float]]:
+    # violation: dict-view order decides the merge column order
+    return [partials[name] for name in partials.keys()]
+
+
+def gossip_receivers(senders: Set[int], extra: Set[int]) -> List[int]:
+    receivers = []
+    for receiver in senders.union(extra):  # violation: set union, hash order
+        receivers.append(receiver)
+    return receivers

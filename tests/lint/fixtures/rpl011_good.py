@@ -1,0 +1,27 @@
+"""RPL011 good fixture: the same shard/merge loops in canonical sorted
+order — the merged bytes are now a pure function of the shard contents."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+
+def broadcast_gossip(shards: Dict[int, object], gamma: object) -> None:
+    for shard_id in sorted(shards):  # canonical shard-id order
+        shards[shard_id].apply_gamma_gossip(gamma)  # type: ignore[attr-defined]
+
+
+def merge_columns(partials: Dict[str, List[float]]) -> List[List[float]]:
+    return [partials[name] for name in sorted(partials)]
+
+
+def gossip_receivers(senders: Set[int], extra: Set[int]) -> List[int]:
+    receivers = []
+    for receiver in sorted(senders.union(extra)):
+        receivers.append(receiver)
+    return receivers
+
+
+def merge_parts(parts: List[object]) -> List[object]:
+    # Lists carry an explicit order — iteration is fine.
+    return [part for part in parts]

@@ -33,6 +33,7 @@ VIRTUAL_PATHS: Dict[str, str] = {
     "RPL008": "src/repro/executor/fixture.py",
     "RPL009": "src/repro/typing_fixture.py",
     "RPL010": "src/repro/service/fixture.py",
+    "RPL011": "src/repro/service/coordinator.py",
 }
 
 #: How many distinct violations the bad fixture plants (the rule must find
@@ -48,6 +49,7 @@ EXPECTED_BAD_COUNTS: Dict[str, int] = {
     "RPL008": 3,
     "RPL009": 3,
     "RPL010": 3,
+    "RPL011": 3,
 }
 
 ALL_CODES = sorted(VIRTUAL_PATHS)
@@ -119,6 +121,14 @@ def test_scoped_rule_ignores_out_of_scope_paths() -> None:
     bad = _fixture("RPL002", "bad")
     assert lint_source(bad, "src/repro/plans/fixture.py", select=["RPL002"])
     assert lint_source(bad, "src/repro/workloads/fixture.py", select=["RPL002"]) == []
+
+
+def test_shard_order_rule_is_file_scoped() -> None:
+    # RPL011 polices exactly the coordinator/sharding/merge-kernel modules.
+    bad = _fixture("RPL011", "bad")
+    assert lint_source(bad, "src/repro/service/sharding.py", select=["RPL011"])
+    assert lint_source(bad, "src/repro/relalg/aggregate.py", select=["RPL011"])
+    assert lint_source(bad, "src/repro/service/service.py", select=["RPL011"]) == []
 
 
 def test_shm_rules_exempt_the_registry_module() -> None:

@@ -102,7 +102,7 @@ class TestAdaptiveMorselSizer:
 
 class TestSchedulerIntegration:
     def test_stage_none_bypasses_adaptation(self):
-        with TaskScheduler(workers=2, name="sizing") as sched:
+        with TaskScheduler(workers=2, name="sizing", backend="thread") as sched:
             observe_overheated(sched.sizer, "agg", batches=3)
             grown = sched.adaptive_morsel_rows("agg", 20_000)
             assert grown > 20_000  # the stage adapted...

@@ -318,7 +318,7 @@ class TestTaskScheduler:
     def test_results_in_submission_order(self):
         import time as time_module
 
-        with TaskScheduler(workers=4) as sched:
+        with TaskScheduler(workers=4, backend="thread") as sched:
             def slow_identity(item):
                 # Earlier items sleep longer: completion order is reversed.
                 time_module.sleep(0.02 * (5 - item))
@@ -335,14 +335,14 @@ class TestTaskScheduler:
         assert stats.tasks_submitted == 0 and stats.tasks_inline == 3
 
     def test_nested_map_from_worker_runs_inline(self):
-        with TaskScheduler(workers=2) as sched:
+        with TaskScheduler(workers=2, backend="thread") as sched:
             def outer(item):
                 return sum(sched.map(lambda x: x + item, range(3)))
 
             assert sched.map(outer, [10, 20]) == [33, 63]
 
     def test_accounting_labels(self):
-        with TaskScheduler(workers=2) as sched:
+        with TaskScheduler(workers=2, backend="thread") as sched:
             with sched.accounting("q1"):
                 sched.map(lambda x: x, range(4))
             sched.map(lambda x: x, range(3), account="q2")
@@ -351,7 +351,7 @@ class TestTaskScheduler:
             assert sched.account_stats("missing").tasks == 0
 
     def test_queue_depth_high_water(self):
-        with TaskScheduler(workers=2) as sched:
+        with TaskScheduler(workers=2, backend="thread") as sched:
             sched.map(lambda x: x, range(8))
             assert sched.max_queue_depth >= 2
             assert sched.queue_depth == 0

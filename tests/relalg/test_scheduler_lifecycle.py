@@ -25,7 +25,7 @@ class TestShutdown:
 
     def test_shutdown_allows_respawn(self):
         """Between batches the driver parks the pool; the next map revives it."""
-        scheduler = TaskScheduler(workers=2, name="respawn")
+        scheduler = TaskScheduler(workers=2, name="respawn", backend="thread")
         scheduler.map(lambda x: x, [1, 2])
         scheduler.shutdown()
         assert scheduler.map(lambda x: x * 10, [1, 2]) == [10, 20]
@@ -73,13 +73,13 @@ class TestClose:
         assert not _worker_threads("leaky")
 
     def test_closed_scheduler_reports_serial(self):
-        scheduler = TaskScheduler(workers=4, name="serialized")
+        scheduler = TaskScheduler(workers=4, name="serialized", backend="thread")
         assert scheduler.parallel
         scheduler.close()
         assert not scheduler.parallel
 
     def test_counters_survive_close(self):
-        scheduler = TaskScheduler(workers=2, name="counted")
+        scheduler = TaskScheduler(workers=2, name="counted", backend="thread")
         scheduler.map(lambda x: x, range(6))
         submitted_before = scheduler.stats().tasks_submitted
         scheduler.close()

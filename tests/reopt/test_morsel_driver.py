@@ -20,6 +20,14 @@ from repro.reopt.driver import DriverSettings, WorkloadDriver
 from repro.workloads.ott import generate_ott_database, make_ott_query, make_ott_workload
 
 
+@pytest.fixture(autouse=True)
+def multicore_host(monkeypatch):
+    """The driver sizes its pool from the host, and schedulers built without
+    an explicit backend degrade to inline serial on single-core hosts — this
+    file tests the pool itself, so pretend the host has cores to use."""
+    monkeypatch.setattr("repro.relalg.scheduler.os.cpu_count", lambda: 8)
+
+
 @pytest.fixture
 def db():
     return generate_ott_database(

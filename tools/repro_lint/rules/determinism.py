@@ -1,5 +1,6 @@
 """Determinism rules: RPL001 (unseeded RNG), RPL002 (unordered iteration),
-RPL003 (wall-clock in kernel task bodies).
+RPL003 (wall-clock in kernel task bodies), RPL011 (unordered shard/merge
+iteration in the scatter-gather coordinator and merge kernels).
 
 The paper's Algorithm-1 guarantee — re-optimization converges to a stable
 plan, and serial/parallel execution is bit-identical — only holds if every
@@ -10,6 +11,7 @@ rules ban the three ways nondeterminism has historically leaked in.
 from __future__ import annotations
 
 import ast
+from pathlib import PurePosixPath
 from typing import Iterator
 
 from repro_lint.astutils import (
@@ -193,6 +195,69 @@ class UnorderedIterationRule(Rule):
                     "iterating a set-producing expression has hash-dependent "
                     "order; wrap it in sorted(...) before feeding plan "
                     "enumeration or a result merge",
+                )
+
+
+def _is_dict_view(node: ast.expr) -> bool:
+    """An argless ``.keys()`` / ``.values()`` / ``.items()`` call."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("keys", "values", "items")
+        and not node.args
+        and not node.keywords
+    )
+
+
+@register
+class UnorderedShardIterationRule(Rule):
+    code = "RPL011"
+    name = "unordered-shard-iteration"
+    summary = (
+        "shard/merge loops in the scatter-gather coordinator and merge "
+        "kernels must iterate in canonical sorted order — no bare dict-view "
+        "or set iteration"
+    )
+    contract = (
+        "determinism — the sharded coordinator's bit-identity guarantee "
+        "rests on visiting shards and merging partials in canonical sorted "
+        "shard-id order; a loop over a dict view reflects insertion (i.e. "
+        "arrival) history and a set loop is hash-dependent, so either can "
+        "reorder a merge or a Γ-gossip broadcast between runs (runtime "
+        "guard: the sharded-vs-single-node bit-identity suites)"
+    )
+    #: File-scoped, not directory-scoped: exactly the modules whose loop
+    #: order the merge-determinism proof depends on.
+    scope_files = (
+        "src/repro/service/coordinator.py",
+        "src/repro/service/sharding.py",
+        "src/repro/relalg/aggregate.py",
+    )
+
+    def applies_to(self, path: PurePosixPath) -> bool:
+        text = path.as_posix()
+        return any(
+            text == scoped or text.endswith("/" + scoped)
+            for scoped in self.scope_files
+        )
+
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        for target in iteration_targets(context.tree):
+            candidate = _unwrap_order_transparent(target)
+            if _is_set_producing(candidate) or _is_dict_view(candidate):
+                what = (
+                    "a dict view (insertion-order)"
+                    if _is_dict_view(candidate)
+                    else "a set-producing expression (hash-order)"
+                )
+                yield Diagnostic(
+                    context.path.as_posix(),
+                    candidate.lineno,
+                    candidate.col_offset,
+                    self.code,
+                    f"iterating {what} in a shard/merge module; visit shards "
+                    "and merge inputs in canonical sorted order "
+                    "(sorted(...), or an explicitly ordered list)",
                 )
 
 
