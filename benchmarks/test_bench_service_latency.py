@@ -1,0 +1,75 @@
+"""Latency-SLO benchmark: tail latency under load, gated, never skipped.
+
+The load generator drives the single-node service and the 2-shard
+coordinator at 80% of each one's *measured* saturation (a doubling sweep on
+the same host, so the operating point scales with the hardware), plus a
+closed loop of synchronous clients.  The SLO is relative, not absolute:
+``p99 <= SERVICE_LATENCY_MAX_P99_RATIO x p50`` (default 10x) with shed rate
+at most ``SERVICE_LATENCY_MAX_SHED_RATE`` (default 1%) — a host-speed-
+independent bound on tail blowup, so the gate holds unconditionally on any
+core count.  The run regenerates ``BENCH_service_latency.json`` with the
+percentiles and per-stage breakdown per (mode, loop) row, and every row
+must be bit-identical to the serial single-node reference and schedule-
+reproducible under the fixed seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Tail-blowup gate: p99 may exceed p50 by at most this factor at the
+#: 80%-of-saturation operating point.
+MAX_P99_RATIO = float(os.environ.get("SERVICE_LATENCY_MAX_P99_RATIO", "10.0"))
+
+#: Largest tolerated rejected fraction (shed + timed out) at the operating
+#: point; 80% of a sustained rate should shed essentially nothing.
+MAX_SHED_RATE = float(os.environ.get("SERVICE_LATENCY_MAX_SHED_RATE", "0.01"))
+
+
+def test_service_latency_slo(benchmark):
+    from conftest import run_once
+
+    from repro.bench.experiments import service_latency
+
+    result = run_once(
+        benchmark,
+        service_latency,
+        slo_p99_over_p50=MAX_P99_RATIO,
+        slo_max_shed_rate=MAX_SHED_RATE,
+    )
+
+    rows = {(row["mode"], row["loop"]): row for row in result.rows}
+    assert set(rows) == {
+        ("single_node", "open"), ("single_node", "closed"),
+        ("sharded", "open"), ("sharded", "closed"),
+    }, "missing a (mode, loop) measurement"
+
+    for key, row in sorted(rows.items()):
+        assert row["completed"] > 0, f"{key}: no request completed"
+        assert row["reproducible"], f"{key}: schedule not seed-reproducible"
+        assert row["bit_identical"], (
+            f"{key}: outputs diverged from the serial single-node reference"
+        )
+        assert row["p50_ms"] > 0 and row["p99_ms"] >= row["p95_ms"] >= row["p50_ms"]
+        assert set(
+            ("queue_ms", "validation_ms", "planning_ms", "execution_ms", "merge_ms")
+        ) <= set(row), f"{key}: per-stage breakdown missing"
+
+    for mode in ("single_node", "sharded"):
+        row = rows[(mode, "open")]
+        print(
+            f"\n{mode} @ {row['offered_qps']:.1f} qps "
+            f"(saturation {row['saturation_qps']:.1f}): "
+            f"p50 {row['p50_ms']:.1f}ms p99 {row['p99_ms']:.1f}ms "
+            f"(ratio {row['p99_over_p50']:.2f}, gate {MAX_P99_RATIO:.1f}), "
+            f"shed {row['shed_rate']:.1%} (gate {MAX_SHED_RATE:.1%})"
+        )
+        assert row["p99_over_p50"] <= MAX_P99_RATIO, (
+            f"{mode} open-loop tail blowup: p99 is {row['p99_over_p50']:.2f}x "
+            f"p50 at 80% of saturation (gate {MAX_P99_RATIO:.1f}x)"
+        )
+        assert row["shed_rate"] <= MAX_SHED_RATE, (
+            f"{mode} open-loop shed rate {row['shed_rate']:.1%} exceeds "
+            f"{MAX_SHED_RATE:.1%} at 80% of saturation"
+        )
+        assert row["slo_ok"], f"{mode}: driver-evaluated SLO failed"

@@ -17,11 +17,11 @@ from __future__ import annotations
 
 import os
 import threading
-import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.bench.clock import monotonic_s
 from repro.bench.harness import (
     QueryRunRecord,
     aggregate_by_template,
@@ -659,9 +659,9 @@ def parallel_runtime(
     def timed_samples(fn: Callable[[], object]) -> List[float]:
         samples = []
         for _ in range(max(1, repeats)):
-            started = time.perf_counter()
+            started = monotonic_s()
             fn()
-            samples.append(time.perf_counter() - started)
+            samples.append(monotonic_s() - started)
         return samples
 
     host_cores = os.cpu_count() or 1
@@ -942,15 +942,15 @@ def batched_driver(
         db, num_tables=joins + 1, num_queries=num_queries, num_matching=joins, seed=seed
     )
 
-    serial_started = time.perf_counter()
+    serial_started = monotonic_s()
     reoptimizer = Reoptimizer(db)
     serial_results = [reoptimizer.reoptimize(query) for query in queries]
-    serial_seconds = time.perf_counter() - serial_started
+    serial_seconds = monotonic_s() - serial_started
 
     driver = WorkloadDriver(db, settings=DriverSettings(max_workers=max_workers))
-    batched_started = time.perf_counter()
+    batched_started = monotonic_s()
     batched_results = driver.run(queries)
-    batched_seconds = time.perf_counter() - batched_started
+    batched_seconds = monotonic_s() - batched_started
 
     plans_match = all(
         plans_identical(serial.final_plan, batched.final_plan)
@@ -1092,10 +1092,10 @@ def service_throughput(
             return result.source
 
         try:
-            started = time.perf_counter()
+            started = monotonic_s()
             with ThreadPoolExecutor(max_workers=concurrency) as pool:
                 sources = list(pool.map(serve, enumerate(mix)))
-            elapsed = time.perf_counter() - started
+            elapsed = monotonic_s() - started
             stats = service.stats
             admission = service.admission_stats()
         finally:
@@ -1206,11 +1206,11 @@ def sharded_service(
         service = make_service()
         outputs: Dict[Tuple[str, int], Relation] = {}
         try:
-            started = time.perf_counter()
+            started = monotonic_s()
             for template, binding_index, binding in mix:
                 result = service.execute(template, binding)
                 outputs[(template.name, binding_index)] = result.execution.columns
-            elapsed = time.perf_counter() - started
+            elapsed = monotonic_s() - started
             stats = service.stats
         finally:
             service.close()
@@ -1265,4 +1265,171 @@ def sharded_service(
         gossip_entries=sharded_stats.gossip_entries,
         inline_shard_reruns=sharded_stats.inline_shard_reruns,
     )
+    return result
+
+
+def service_latency(
+    scale_factor: float = 0.02,
+    sampling_ratio: float = 0.25,
+    num_shards: int = 2,
+    num_requests: int = 96,
+    sweep_requests: int = 40,
+    start_qps: float = 8.0,
+    operating_fraction: float = 0.8,
+    slo_p99_over_p50: float = 10.0,
+    slo_max_shed_rate: float = 0.01,
+    num_clients: int = 4,
+    think_time_s: float = 0.0,
+    seed: int = 17,
+) -> ExperimentResult:
+    """Latency under load: tail percentiles and per-stage breakdowns.
+
+    The load generator (:mod:`repro.bench.loadgen`) drives the single-node
+    service and the ``num_shards``-shard coordinator over the same
+    parameterized TPC-H template mix as :func:`service_throughput`, zipf(1)
+    skewed, with result caching disabled so every request pays validation,
+    planning (cache-hit or replan) and execution — the latency being
+    measured is serving work, not cache probes.
+
+    Per mode, a saturation sweep doubles offered open-loop qps until the
+    service stops keeping up (completions under 90% of offered, or any
+    shedding); the last sustained rate is the measured saturation.  The
+    scored runs then execute at ``operating_fraction`` (default 80%) of
+    that saturation in open loop (Poisson arrivals), plus a closed loop of
+    ``num_clients`` synchronous clients, aggregating every request's
+    :class:`~repro.service.tracing.RequestTrace` into p50/p95/p99, shed
+    rate and mean seconds per serving stage.
+
+    The SLO gated by the benchmark wrapper: at the operating point,
+    ``p99 <= slo_p99_over_p50 x p50`` and shed rate at most
+    ``slo_max_shed_rate`` — tail latency bounded relative to the median,
+    not in wall-clock terms, so the contract holds on any host speed.
+    Every row also asserts the reproducibility contract: the request
+    schedule is a pure function of the seed, and query outputs are
+    bit-identical to a serial single-node reference.
+    """
+    from repro.bench.loadgen import (
+        LoadgenConfig,
+        LoadResult,
+        TemplateMix,
+        build_schedule,
+        find_saturation_qps,
+        run_load,
+    )
+    from repro.service import QueryService, ServiceSettings, ShardedQueryService
+
+    db = generate_tpch_database(
+        scale_factor=scale_factor, seed=seed, sampling_ratio=sampling_ratio
+    )
+    templates, bindings_by_name = _service_templates()
+    mix = TemplateMix.build(templates, bindings_by_name)
+    settings = ServiceSettings(use_result_cache=False)
+    reopt_settings = ReoptimizationSettings(
+        sampling_ratio=sampling_ratio, sampling_seed=seed
+    )
+
+    factories: Dict[str, Callable[[], Any]] = {
+        "single_node": lambda: QueryService(
+            db, settings=settings, reopt_settings=reopt_settings
+        ),
+        "sharded": lambda: ShardedQueryService(
+            db, num_shards=num_shards, settings=settings, reopt_settings=reopt_settings
+        ),
+    }
+
+    # Serial single-node reference outputs for the bit-identity contract.
+    reference: Dict[Tuple[str, int], Relation] = {}
+    reference_service = factories["single_node"]()
+    try:
+        for template_index, template in enumerate(mix.templates):
+            for binding_index in range(len(mix.bindings[template_index][1])):
+                _, binding = mix.lookup(template_index, binding_index)
+                executed = reference_service.execute(template, binding)
+                reference[(template.name, binding_index)] = executed.execution.columns
+    finally:
+        reference_service.close()
+
+    def bit_identical(run: LoadResult) -> bool:
+        return all(
+            key in reference and _relations_equal(reference[key], columns)
+            for key, columns in run.outputs.items()
+        ) and bool(run.outputs)
+
+    base_config = LoadgenConfig(
+        mode="open", num_requests=num_requests, zipf_s=1.0, seed=seed,
+        num_clients=num_clients, think_time_s=think_time_s,
+    )
+    sweep_config = LoadgenConfig(
+        mode="open", num_requests=sweep_requests, zipf_s=1.0, seed=seed,
+        num_clients=num_clients, think_time_s=think_time_s,
+    )
+    # The schedule is a pure function of (config, mix): two builds agree.
+    reproducible = build_schedule(base_config, mix) == build_schedule(base_config, mix)
+
+    result = ExperimentResult(
+        experiment="service_latency",
+        description=(
+            f"Latency SLO harness: single-node vs {num_shards}-shard service "
+            f"under open-loop (Poisson, {operating_fraction:.0%} of measured "
+            f"saturation) and closed-loop ({num_clients} clients) load "
+            f"({num_requests} requests over {len(templates)} parameterized "
+            f"TPC-H templates, zipf(1), TPC-H sf={scale_factor})"
+        ),
+        columns=[
+            "mode", "loop", "shards", "host_cores", "saturation_qps",
+            "offered_qps", "achieved_qps", "requests", "completed",
+            "shed_rate", "p50_ms", "p95_ms", "p99_ms", "p99_over_p50",
+            "queue_ms", "validation_ms", "planning_ms", "execution_ms",
+            "merge_ms", "overhead_ms", "slo_ok", "bit_identical",
+            "reproducible",
+        ],
+    )
+
+    def add_run(mode: str, loop: str, saturation: float, run: LoadResult) -> None:
+        latency = run.latency
+        ratio = latency.p99_s / max(latency.p50_s, 1e-9)
+        slo_ok = ratio <= slo_p99_over_p50 and run.shed_rate <= slo_max_shed_rate
+        result.add_row(
+            mode=mode, loop=loop,
+            shards=num_shards if mode == "sharded" else 1,
+            host_cores=os.cpu_count() or 1,
+            saturation_qps=saturation,
+            offered_qps=run.offered / max(run.wall_s, 1e-9),
+            achieved_qps=run.achieved_qps,
+            requests=run.offered, completed=run.completed,
+            shed_rate=run.shed_rate,
+            p50_ms=latency.p50_s * 1e3, p95_ms=latency.p95_s * 1e3,
+            p99_ms=latency.p99_s * 1e3, p99_over_p50=ratio,
+            queue_ms=run.stages.get("queue_wait_s", 0.0) * 1e3,
+            validation_ms=run.stages.get("validation_s", 0.0) * 1e3,
+            planning_ms=run.stages.get("planning_s", 0.0) * 1e3,
+            execution_ms=run.stages.get("execution_s", 0.0) * 1e3,
+            merge_ms=run.stages.get("merge_s", 0.0) * 1e3,
+            overhead_ms=run.stages.get("overhead_s", 0.0) * 1e3,
+            slo_ok=slo_ok, bit_identical=bit_identical(run),
+            reproducible=reproducible,
+        )
+
+    for mode in ("single_node", "sharded"):
+        make_service = factories[mode]
+        saturation, _ = find_saturation_qps(
+            make_service, mix, sweep_config, start_qps=start_qps
+        )
+        operating_config = LoadgenConfig(
+            mode="open", num_requests=num_requests,
+            target_qps=max(operating_fraction * saturation, 1e-3),
+            zipf_s=1.0, seed=seed,
+            num_clients=num_clients, think_time_s=think_time_s,
+        )
+        closed_config = LoadgenConfig(
+            mode="closed", num_requests=num_requests, zipf_s=1.0, seed=seed,
+            num_clients=num_clients, think_time_s=think_time_s,
+        )
+        for loop, config in (("open", operating_config), ("closed", closed_config)):
+            service = make_service()
+            try:
+                run = run_load(service, mix, config)
+            finally:
+                service.close()
+            add_run(mode, loop, saturation, run)
     return result

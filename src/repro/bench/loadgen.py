@@ -1,0 +1,438 @@
+"""Config-driven load generator for the query service.
+
+Drives a :class:`~repro.service.QueryService` (or the sharded coordinator —
+anything with the service ``execute`` signature) with a reproducible request
+stream over a zipf-skewed mix of prepared templates, and collects the
+per-request traces (:class:`~repro.service.tracing.RequestTrace`) the
+latency harness aggregates into p50/p95/p99, shed rate and per-stage
+breakdowns.
+
+Two arrival processes are supported:
+
+* **open loop** (``mode="open"``) — request arrivals follow a Poisson
+  process at ``target_qps``: inter-arrival gaps are exponential draws, and
+  a slow server does *not* slow the arrivals down.  This is the process
+  that exposes queueing collapse: offered load keeps arriving while the
+  queue backs up, so shed rate and tail latency are measured under honest
+  pressure (closed-loop generators famously hide both by self-throttling —
+  the "coordinated omission" failure).
+* **closed loop** (``mode="closed"``) — ``num_clients`` synchronous
+  clients each issue a request, wait for the response, think for
+  ``think_time_s`` and repeat.  Offered load adapts to service speed; this
+  is the process that models interactive sessions and measures latency at
+  a sustainable operating point.
+
+Reproducibility contract: :func:`build_schedule` is a pure function of the
+config — every random draw (template choice via zipf weights, exponential
+inter-arrival gaps, client assignment) comes from one
+``numpy.random.default_rng(seed)`` consumed in a single thread, so the same
+config always yields the bit-identical schedule.  Execution timing is of
+course wall-clock, but the *work* (which template, which binding, which
+client, in which order per client) is seed-determined, and query outputs
+are bit-identical across runs and modes.
+
+This module intentionally is **not** re-exported from
+``repro.bench.__init__``: the service layer imports
+:mod:`repro.bench.clock`, so pulling loadgen (which imports the service
+layer at module scope) into the package ``__init__`` would create an import
+cycle.  Import it as ``from repro.bench import loadgen`` /
+``from repro.bench.loadgen import run_load`` instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.clock import monotonic_s
+from repro.bench.reporting import LatencySummary, stage_breakdown, summarize_latencies
+from repro.relalg import Relation
+from repro.service.admission import BackpressureError
+from repro.service.tracing import RequestTrace
+from repro.sql.ast import Bindings, Query
+
+
+class _ExecutesStatements(Protocol):
+    """Structural type of the services loadgen can drive."""
+
+    def execute(
+        self,
+        statement: Query,
+        params: Optional[Bindings] = None,
+        client: str = "default",
+        trace: Optional[RequestTrace] = None,
+    ) -> object: ...
+
+
+@dataclass(frozen=True)
+class TemplateMix:
+    """The prepared statements and binding sets a load run draws from.
+
+    ``weights`` ranks the flattened (template, binding) pairs for the zipf
+    skew: pair ``k`` (0-based, in the deterministic order ``pairs()``
+    returns) is drawn with probability proportional to ``1 / (k+1)**s``.
+    """
+
+    templates: Tuple[Query, ...]
+    bindings: Tuple[Tuple[str, Tuple[Bindings, ...]], ...]
+
+    @classmethod
+    def build(
+        cls, templates: Sequence[Query], bindings: Dict[str, Sequence[Bindings]]
+    ) -> "TemplateMix":
+        """Normalize the experiments-module mix shape into a frozen mix."""
+        ordered = tuple(templates)
+        named = tuple(
+            (template.name, tuple(bindings[template.name])) for template in ordered
+        )
+        return cls(templates=ordered, bindings=named)
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        """All (template_index, binding_index) pairs, deterministic order."""
+        out: List[Tuple[int, int]] = []
+        for template_index, (_, binding_set) in enumerate(self.bindings):
+            for binding_index in range(len(binding_set)):
+                out.append((template_index, binding_index))
+        return out
+
+    def lookup(self, template_index: int, binding_index: int) -> Tuple[Query, Bindings]:
+        template = self.templates[template_index]
+        return template, self.bindings[template_index][1][binding_index]
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load run: arrival process, mix skew, scale, seed."""
+
+    #: ``"open"`` (Poisson arrivals at ``target_qps``) or ``"closed"``
+    #: (``num_clients`` clients with ``think_time_s`` between requests).
+    mode: str = "open"
+    #: Total requests in the schedule (both modes).
+    num_requests: int = 100
+    #: Open loop: offered arrival rate (requests/second).
+    target_qps: float = 50.0
+    #: Closed loop: number of synchronous clients.
+    num_clients: int = 4
+    #: Closed loop: seconds each client thinks between its requests.
+    think_time_s: float = 0.0
+    #: Zipf skew exponent over the (template, binding) pairs; ``0`` is
+    #: uniform, ``1`` is the classic web-workload skew.
+    zipf_s: float = 1.0
+    #: Seed of the one RNG every schedule draw comes from.
+    seed: int = 17
+    #: Open loop: worker threads standing by to issue arrivals.  Size it
+    #: above the service's ``max_concurrent + max_queued`` so admission
+    #: control — not the generator's own pool — is what sheds load.
+    open_loop_workers: int = 32
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("open", "closed"):
+            raise ValueError(f"unknown loadgen mode {self.mode!r}")
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        if self.mode == "open" and self.target_qps <= 0:
+            raise ValueError("target_qps must be positive in open-loop mode")
+        if self.mode == "closed" and self.num_clients <= 0:
+            raise ValueError("num_clients must be positive in closed-loop mode")
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One request of the schedule (pure data, no timing state)."""
+
+    index: int
+    #: Seconds after run start this request arrives (open loop; ``0.0`` in
+    #: closed loop, where think time and service time set the pace).
+    arrival_s: float
+    client: str
+    template_index: int
+    binding_index: int
+
+
+@dataclass
+class LoadResult:
+    """Everything one load run measured."""
+
+    config: LoadgenConfig
+    #: Wall seconds from first arrival to last response.
+    wall_s: float = 0.0
+    #: Open loop: seconds the schedule's arrivals span (the last arrival
+    #: offset).  ``wall_s - schedule_span_s`` is the drain time — how long
+    #: the server kept working after offered load stopped, the direct
+    #: measure of whether it kept up.
+    schedule_span_s: float = 0.0
+    #: Requests offered / completed / rejected.
+    offered: int = 0
+    completed: int = 0
+    shed: int = 0
+    timed_out: int = 0
+    #: Completed requests per wall second.
+    achieved_qps: float = 0.0
+    #: Rejected (shed + timed out) fraction of offered requests.
+    shed_rate: float = 0.0
+    #: Latency summary over *completed* requests only.
+    latency: LatencySummary = field(default_factory=LatencySummary)
+    #: Mean seconds per serving stage over completed requests.
+    stages: Dict[str, float] = field(default_factory=dict)
+    #: Completed-request count per serving source (fresh/result_cache/...).
+    sources: Dict[str, int] = field(default_factory=dict)
+    #: Every request's trace, completed and rejected alike.
+    traces: List[RequestTrace] = field(default_factory=list)
+    #: (template name, binding index) → output columns, for bit-identity
+    #: checks across runs and modes.
+    outputs: Dict[Tuple[str, int], Relation] = field(default_factory=dict)
+
+
+def zipf_weights(count: int, s: float) -> np.ndarray:
+    """Normalized zipf(s) probabilities over ``count`` ranks."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = 1.0 / np.power(ranks, float(s))
+    return weights / weights.sum()
+
+
+def build_schedule(config: LoadgenConfig, mix: TemplateMix) -> List[ScheduledRequest]:
+    """The full request schedule — a pure function of ``config`` and ``mix``.
+
+    All draws come from one seeded generator consumed sequentially in this
+    single-threaded function, so the schedule is bit-reproducible: same
+    config and mix, same schedule, always.
+    """
+    rng = np.random.default_rng(config.seed)
+    pairs = mix.pairs()
+    weights = zipf_weights(len(pairs), config.zipf_s)
+    choices = rng.choice(len(pairs), size=config.num_requests, p=weights)
+    if config.mode == "open":
+        gaps = rng.exponential(scale=1.0 / config.target_qps, size=config.num_requests)
+        arrivals = np.cumsum(gaps)
+        clients = [
+            f"open{index % max(1, config.open_loop_workers)}"
+            for index in range(config.num_requests)
+        ]
+    else:
+        arrivals = np.zeros(config.num_requests, dtype=np.float64)
+        clients = [f"client{index % config.num_clients}" for index in range(config.num_requests)]
+    schedule: List[ScheduledRequest] = []
+    for index in range(config.num_requests):
+        template_index, binding_index = pairs[int(choices[index])]
+        schedule.append(
+            ScheduledRequest(
+                index=index,
+                arrival_s=float(arrivals[index]),
+                client=clients[index],
+                template_index=template_index,
+                binding_index=binding_index,
+            )
+        )
+    return schedule
+
+
+class _RunCollector:
+    """Thread-safe accumulation of traces and outputs during a run."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.traces: List[RequestTrace] = []
+        self.outputs: Dict[Tuple[str, int], Relation] = {}
+
+    def record(
+        self,
+        trace: RequestTrace,
+        key: Optional[Tuple[str, int]] = None,
+        columns: Optional[Relation] = None,
+    ) -> None:
+        with self.lock:
+            self.traces.append(trace)
+            if key is not None and columns is not None:
+                self.outputs[key] = columns
+
+
+def _issue(
+    service: _ExecutesStatements,
+    mix: TemplateMix,
+    request: ScheduledRequest,
+    collector: _RunCollector,
+) -> None:
+    """Issue one scheduled request and record its trace (never raises)."""
+    template, binding = mix.lookup(request.template_index, request.binding_index)
+    trace = RequestTrace(client=request.client)
+    try:
+        result = service.execute(template, binding, client=request.client, trace=trace)
+    except BackpressureError:
+        collector.record(trace)  # outcome/waited stamped by the service
+        return
+    columns = getattr(getattr(result, "execution", None), "columns", None)
+    key = (template.name, request.binding_index)
+    collector.record(trace, key=key, columns=columns)
+
+
+def _run_open_loop(
+    service: _ExecutesStatements,
+    mix: TemplateMix,
+    schedule: Sequence[ScheduledRequest],
+    config: LoadgenConfig,
+    collector: _RunCollector,
+) -> float:
+    """Poisson arrivals: workers fire each request at its scheduled time.
+
+    Returns wall seconds.  Worker threads pull requests in schedule order
+    and sleep until each arrival; with ``open_loop_workers`` sized above
+    the service's admission bound, the admission gate — not this pool —
+    is what limits concurrency.
+    """
+    cursor_lock = threading.Lock()
+    cursor = [0]
+    started = monotonic_s()
+
+    def worker() -> None:
+        while True:
+            with cursor_lock:
+                position = cursor[0]
+                if position >= len(schedule):
+                    return
+                cursor[0] = position + 1
+            request = schedule[position]
+            delay = (started + request.arrival_s) - monotonic_s()
+            if delay > 0:
+                waiter = threading.Event()
+                waiter.wait(timeout=delay)
+            _issue(service, mix, request, collector)
+
+    threads = [
+        threading.Thread(target=worker)
+        for _ in range(min(config.open_loop_workers, len(schedule)))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return monotonic_s() - started
+
+
+def _run_closed_loop(
+    service: _ExecutesStatements,
+    mix: TemplateMix,
+    schedule: Sequence[ScheduledRequest],
+    config: LoadgenConfig,
+    collector: _RunCollector,
+) -> float:
+    """N synchronous clients, each request → response → think → repeat."""
+    by_client: Dict[str, List[ScheduledRequest]] = {}
+    for request in schedule:
+        by_client.setdefault(request.client, []).append(request)
+    started = monotonic_s()
+
+    def client_session(requests: List[ScheduledRequest]) -> None:
+        for position, request in enumerate(requests):
+            _issue(service, mix, request, collector)
+            if config.think_time_s > 0 and position + 1 < len(requests):
+                pause = threading.Event()
+                pause.wait(timeout=config.think_time_s)
+
+    threads = [
+        threading.Thread(target=client_session, args=(requests,))
+        for _, requests in sorted(by_client.items())
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return monotonic_s() - started
+
+
+def run_load(
+    service: _ExecutesStatements, mix: TemplateMix, config: LoadgenConfig
+) -> LoadResult:
+    """Run one configured load against ``service`` and aggregate the traces."""
+    schedule = build_schedule(config, mix)
+    collector = _RunCollector()
+    if config.mode == "open":
+        wall_s = _run_open_loop(service, mix, schedule, config, collector)
+    else:
+        wall_s = _run_closed_loop(service, mix, schedule, config, collector)
+
+    traces = collector.traces
+    ok = [trace for trace in traces if trace.outcome == "ok"]
+    shed = sum(1 for trace in traces if trace.outcome == "shed")
+    timed_out = sum(1 for trace in traces if trace.outcome == "timeout")
+    sources: Dict[str, int] = {}
+    for trace in ok:
+        sources[trace.source] = sources.get(trace.source, 0) + 1
+    result = LoadResult(
+        config=config,
+        wall_s=wall_s,
+        schedule_span_s=max((request.arrival_s for request in schedule), default=0.0),
+        offered=len(traces),
+        completed=len(ok),
+        shed=shed,
+        timed_out=timed_out,
+        achieved_qps=len(ok) / max(wall_s, 1e-9),
+        shed_rate=(shed + timed_out) / max(len(traces), 1),
+        latency=summarize_latencies([trace.total_s for trace in ok]),
+        stages=stage_breakdown(ok),
+        sources=dict(sorted(sources.items())),
+        traces=traces,
+        outputs=collector.outputs,
+    )
+    return result
+
+
+def find_saturation_qps(
+    make_service: Callable[[], _ExecutesStatements],
+    mix: TemplateMix,
+    base_config: LoadgenConfig,
+    start_qps: float = 8.0,
+    max_doublings: int = 8,
+    efficiency_floor: float = 0.9,
+) -> Tuple[float, List[LoadResult]]:
+    """Find the saturation point by doubling offered open-loop qps.
+
+    Offered load starts at ``start_qps`` and doubles until the service
+    completes less than ``efficiency_floor`` of what was offered (or sheds
+    requests), i.e. until the open-loop arrivals outrun service capacity.
+    Returns the last offered rate the service kept up with, plus every
+    step's :class:`LoadResult`.  Each step drives a *fresh* service from
+    ``make_service`` so result caches warmed at one rate don't flatter the
+    next.
+    """
+    steps: List[LoadResult] = []
+    sustained = start_qps
+    qps = start_qps
+    for _ in range(max_doublings):
+        config = LoadgenConfig(
+            mode="open",
+            num_requests=base_config.num_requests,
+            target_qps=qps,
+            num_clients=base_config.num_clients,
+            think_time_s=base_config.think_time_s,
+            zipf_s=base_config.zipf_s,
+            seed=base_config.seed,
+            open_loop_workers=base_config.open_loop_workers,
+        )
+        service = make_service()
+        try:
+            step = run_load(service, mix, config)
+        finally:
+            close = getattr(service, "close", None)
+            if close is not None:
+                close()
+        steps.append(step)
+        # Keeping up means draining on the arrivals' own schedule: when the
+        # server falls behind, requests still arrive on time but the run's
+        # wall clock stretches past the last arrival (nothing is shed while
+        # the admission queue holds, so completed counts can't tell).  The
+        # bound is relative to the *realized* schedule span, which for a
+        # finite Poisson draw fluctuates around num_requests/target_qps.
+        kept_up = (
+            step.shed_rate == 0.0
+            and step.wall_s <= step.schedule_span_s / efficiency_floor
+        )
+        if not kept_up:
+            break
+        sustained = qps
+        qps *= 2.0
+    return sustained, steps

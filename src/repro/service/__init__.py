@@ -39,8 +39,14 @@ from repro.service.templates import (
     StatementRegistry,
     prepare_statement,
 )
+from repro.service.tracing import (
+    STAGE_FIELDS,
+    RequestTrace,
+)
 
 __all__ = [
+    "STAGE_FIELDS",
+    "RequestTrace",
     "AdmissionController",
     "AdmissionStats",
     "BackpressureError",

@@ -13,24 +13,36 @@ bound.  The :class:`AdmissionController` in front of it provides:
 * **per-client fairness** — waiting callers are granted slots round-robin
   *across clients* (FIFO within a client), so one chatty client cannot
   starve the rest however many requests it floods in;
-* **backpressure statistics** — admitted/rejected counts, the queue's
+* **backpressure statistics** — admitted counts, *sheds* (queue full)
+  separated from *timeouts* (waiter deadline expired), the queue's
   high-water mark and per-client tallies, surfaced through the service's
   stats endpoint.
 
-The controller is synchronous (callers block in ``admit``) because the
+Each waiting ticket owns its own :class:`threading.Event`: a grant wakes
+exactly the granted waiter, never the whole queue.  (The first version
+broadcast ``notify_all`` on a shared condition for every grant, waking every
+waiter O(queue) times per release — a thundering herd that inflated tail
+latency under exactly the load the latency harness measures.  The
+``wakeups`` counter exists so regression tests can pin the new bound:
+one wakeup per grant.)
+
+The controller is synchronous (callers block in ``acquire``) because the
 service's execution path is synchronous; the fairness schedule is computed
 under the controller's lock, so grants are deterministic given the arrival
-order.
+order.  All deadlines and wait durations are read from the shared monotonic
+clock (:func:`repro.bench.clock.monotonic_s`), the same clock every request
+trace is stamped with.
 """
 
 from __future__ import annotations
 
 import threading
-import time
 from collections import OrderedDict, deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterator, Optional, Set, Tuple
+
+from repro.bench.clock import monotonic_s
 
 #: Per-client stat maps are folded into an ``<other>`` bucket beyond this
 #: many distinct clients, so per-request client ids cannot grow the stats
@@ -39,7 +51,22 @@ PER_CLIENT_STATS_CAP = 1024
 
 
 class BackpressureError(RuntimeError):
-    """Raised when the wait queue is full and a request must be shed."""
+    """Raised when a request must be rejected instead of queueing further.
+
+    ``kind`` distinguishes the two rejection classes the stats also
+    separate: ``"shed"`` (the wait queue was full — load shedding) versus
+    ``"timeout"`` (the caller's deadline expired while waiting).
+    ``waited_s`` is how long the caller waited before rejection, on the
+    shared monotonic clock, so traces of shed requests still account their
+    queue time.
+    """
+
+    def __init__(
+        self, message: str, kind: str = "shed", waited_s: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.waited_s = waited_s
 
 
 @dataclass
@@ -47,8 +74,22 @@ class AdmissionStats:
     """Counters of the admission controller."""
 
     admitted: int = 0
+    #: Requests rejected immediately because the wait queue was full.  This
+    #: is the numerator of a load generator's *shed rate*.
+    shed: int = 0
+    #: Requests rejected because their admission deadline expired while
+    #: queued.  A timeout is a latency failure, not a load-shedding
+    #: decision — conflating the two made shed-rate unmeasurable.
+    timed_out: int = 0
+    #: ``shed + timed_out`` — kept as the historical total for callers that
+    #: only care whether requests were rejected at all.
     rejected: int = 0
     completed: int = 0
+    #: Waiter wakeups signalled by grants.  With per-ticket events this is
+    #: exactly one per queued grant; the thundering-herd regression test
+    #: pins it (the old shared-condition broadcast woke O(queue) waiters
+    #: per release).
+    wakeups: int = 0
     max_queue_depth: int = 0
     max_in_flight: int = 0
     per_client_admitted: Dict[str, int] = field(default_factory=dict)
@@ -62,7 +103,6 @@ class AdmissionController:
         self.max_concurrent = max(1, int(max_concurrent))
         self.max_queued = max(0, int(max_queued))
         self._lock = threading.Lock()
-        self._slots_available = threading.Condition(self._lock)
         self._in_flight = 0
         #: Waiting tickets per client, FIFO.  ``OrderedDict`` keeps client
         #: registration order stable for the round-robin rotation.
@@ -71,6 +111,9 @@ class AdmissionController:
         self._rotation: Deque[str] = deque()
         #: Tickets that have been granted a slot but not yet picked up.
         self._granted: Set[int] = set()
+        #: Ticket → the event its waiter blocks on.  A grant sets exactly
+        #: this ticket's event (no shared condition, no broadcast).
+        self._events: Dict[int, threading.Event] = {}
         self._next_ticket = 0
         self.stats = AdmissionStats()
 
@@ -81,22 +124,29 @@ class AdmissionController:
         return sum(len(queue) for queue in self._queues.values())
 
     def _grant_next(self) -> None:
-        """Hand free slots to waiting tickets, round-robin across clients."""
+        """Hand free slots to waiting tickets, round-robin across clients.
+
+        Each grant wakes only the granted ticket's own event — a release
+        with ``k`` free slots causes exactly ``k`` wakeups however long the
+        queue is.
+        """
         while self._in_flight + len(self._granted) < self.max_concurrent:
-            granted = False
+            granted_ticket: Optional[int] = None
             for _ in range(len(self._rotation)):
                 client = self._rotation[0]
                 self._rotation.rotate(-1)
                 queue = self._queues.get(client)
                 if queue:
-                    self._granted.add(queue.popleft())
-                    granted = True
+                    granted_ticket = queue.popleft()
                     break
-            if not granted:
+            if granted_ticket is None:
                 break
+            self._granted.add(granted_ticket)
+            event = self._events.get(granted_ticket)
+            if event is not None:
+                self.stats.wakeups += 1
+                event.set()
         self._prune_idle_clients()
-        if self._granted:
-            self._slots_available.notify_all()
 
     def _prune_idle_clients(self) -> None:
         """Drop clients with no waiting tickets from the scheduling state.
@@ -126,19 +176,32 @@ class AdmissionController:
             client = "<other>"
         per_client[client] = per_client.get(client, 0) + 1
 
+    def _admit_locked(self, client: str) -> None:
+        """Book-keeping of a successful admission (caller holds the lock)."""
+        self._in_flight += 1
+        self.stats.admitted += 1
+        self.stats.max_in_flight = max(self.stats.max_in_flight, self._in_flight)
+        self._bump_client_stat(self.stats.per_client_admitted, client)
+
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def acquire(self, client: str = "default", timeout: Optional[float] = None) -> None:
+    def acquire(self, client: str = "default", timeout: Optional[float] = None) -> float:
         """Block until an execution slot is granted (fairly) to ``client``.
+
+        Returns the seconds spent waiting for the slot (``0.0`` on the
+        uncontended fast path), on the shared monotonic clock — the
+        request trace's ``queue_wait_s``.
 
         Raises
         ------
         BackpressureError
-            If the wait queue is at capacity, or the optional ``timeout``
-            expires before a slot is granted.
+            With ``kind="shed"`` if the wait queue is at capacity, or
+            ``kind="timeout"`` if the optional ``timeout`` expires before a
+            slot is granted.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
+        started = monotonic_s()
+        deadline = None if timeout is None else started + timeout
         with self._lock:
             if (
                 self._in_flight + len(self._granted) < self.max_concurrent
@@ -146,50 +209,56 @@ class AdmissionController:
             ):
                 # Fast path: free slot, nobody waiting — no ticket needed.
                 # Granted-but-unclaimed tickets still reserve their slots.
-                self._in_flight += 1
-                self.stats.admitted += 1
-                self.stats.max_in_flight = max(self.stats.max_in_flight, self._in_flight)
-                self._bump_client_stat(self.stats.per_client_admitted, client)
-                return
+                self._admit_locked(client)
+                return 0.0
             if self._queued_count() >= self.max_queued:
+                self.stats.shed += 1
                 self.stats.rejected += 1
                 self._bump_client_stat(self.stats.per_client_rejected, client)
                 raise BackpressureError(
                     f"admission queue full ({self.max_queued} waiting); "
-                    f"client {client!r} shed"
+                    f"client {client!r} shed",
+                    kind="shed",
+                    waited_s=0.0,
                 )
             ticket = self._next_ticket
             self._next_ticket += 1
+            event = threading.Event()
+            self._events[ticket] = event
             queue = self._register_client(client)
             queue.append(ticket)
             self.stats.max_queue_depth = max(self.stats.max_queue_depth, self._queued_count())
             self._grant_next()
-            while ticket not in self._granted:
-                # The deadline is absolute: notify_all wakes every waiter on
-                # each grant, so a passed-over waiter re-waits only for the
-                # *remaining* time, keeping the documented cap a real cap.
-                remaining = None if deadline is None else deadline - time.monotonic()
-                if remaining is not None and remaining <= 0.0:
-                    expired = True
-                else:
-                    expired = not self._slots_available.wait(timeout=remaining)
-                if expired and ticket not in self._granted:
-                    # Timed out: withdraw the ticket wherever it is.
-                    try:
-                        queue.remove(ticket)
-                    except ValueError:  # pragma: no cover - defensive
-                        pass
-                    self._prune_idle_clients()
-                    self.stats.rejected += 1
-                    self._bump_client_stat(self.stats.per_client_rejected, client)
-                    raise BackpressureError(
-                        f"client {client!r} timed out waiting for an execution slot"
-                    )
-            self._granted.discard(ticket)
-            self._in_flight += 1
-            self.stats.admitted += 1
-            self.stats.max_in_flight = max(self.stats.max_in_flight, self._in_flight)
-            self._bump_client_stat(self.stats.per_client_admitted, client)
+
+        # Wait outside the lock on this ticket's own event.  The deadline is
+        # absolute: the single wait covers the whole remaining budget, and a
+        # grant wakes exactly this waiter (see _grant_next).
+        remaining = None if deadline is None else max(0.0, deadline - monotonic_s())
+        event.wait(timeout=remaining)
+        with self._lock:
+            if ticket in self._granted:
+                # Granted — possibly just after the deadline expired; the
+                # slot is already reserved for us, so claim it either way.
+                self._granted.discard(ticket)
+                self._events.pop(ticket, None)
+                self._admit_locked(client)
+                return monotonic_s() - started
+            # Timed out: withdraw the ticket wherever it is.
+            try:
+                queue.remove(ticket)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            self._events.pop(ticket, None)
+            self._prune_idle_clients()
+            waited = monotonic_s() - started
+            self.stats.timed_out += 1
+            self.stats.rejected += 1
+            self._bump_client_stat(self.stats.per_client_rejected, client)
+            raise BackpressureError(
+                f"client {client!r} timed out waiting for an execution slot",
+                kind="timeout",
+                waited_s=waited,
+            )
 
     def release(self) -> None:
         """Return an execution slot and wake the next fair waiter."""
@@ -199,11 +268,16 @@ class AdmissionController:
             self._grant_next()
 
     @contextmanager
-    def admit(self, client: str = "default", timeout: Optional[float] = None) -> Iterator[None]:
-        """``with controller.admit(client): execute(...)`` — acquire/release."""
-        self.acquire(client, timeout=timeout)
+    def admit(self, client: str = "default", timeout: Optional[float] = None) -> Iterator[float]:
+        """``with controller.admit(client) as queue_wait_s: execute(...)``.
+
+        Yields the seconds the caller waited for its slot (``acquire``'s
+        return value), so serving code can charge the queue-wait stage of
+        the request trace without a second clock read.
+        """
+        waited = self.acquire(client, timeout=timeout)
         try:
-            yield
+            yield waited
         finally:
             self.release()
 
@@ -235,8 +309,11 @@ class AdmissionController:
         with self._lock:
             return AdmissionStats(
                 admitted=self.stats.admitted,
+                shed=self.stats.shed,
+                timed_out=self.stats.timed_out,
                 rejected=self.stats.rejected,
                 completed=self.stats.completed,
+                wakeups=self.stats.wakeups,
                 max_queue_depth=self.stats.max_queue_depth,
                 max_in_flight=self.stats.max_in_flight,
                 per_client_admitted=dict(self.stats.per_client_admitted),

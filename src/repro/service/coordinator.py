@@ -54,10 +54,10 @@ order — merge determinism depends on it (repro-lint RPL011).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.bench.clock import monotonic_s
 from repro.cardinality.gamma import Gamma
 from repro.cost.model import CostModel, ResourceVector
 from repro.cost.units import CostUnits
@@ -94,6 +94,7 @@ from repro.service.sharding import (
     unregister_shards,
 )
 from repro.service.templates import PreparedStatement, StatementRegistry
+from repro.service.tracing import RequestTrace
 from repro.sql.ast import Bindings, Query
 from repro.storage.catalog import Database
 
@@ -288,25 +289,38 @@ class ShardedQueryService:
         statement: Union[str, Query, PreparedStatement],
         params: Optional[Bindings] = None,
         client: str = "default",
+        trace: Optional[RequestTrace] = None,
     ) -> ServiceResult:
-        """Serve one execution, routed across the shards."""
+        """Serve one execution, routed across the shards.
+
+        ``trace`` is filled with per-stage latency accounting exactly like
+        :meth:`QueryService.execute` — single/fallback routes delegate the
+        trace to the serving shard; scatter routes charge queue wait at the
+        coordinator's gate, per-shard validation/planning, fragment
+        execution, and the partial/gather merge.
+        """
         if self._closed:
             raise RuntimeError("ShardedQueryService is closed")
-        started = time.perf_counter()
+        if trace is None:
+            trace = RequestTrace(client=client)
+        started = monotonic_s()
         prepared = self.prepare(statement)
         bound = prepared.bind(params)
         routing = route_query(bound, self.spec)
         if routing.mode == "single":
-            result = self.shards[0].execute(prepared, params, client=client)
+            result = self.shards[0].execute(prepared, params, client=client, trace=trace)
             self.stats.queries += 1
             self.stats.single_shard_queries += 1
             return result
         if routing.mode == "fallback":
-            result = self.fallback.execute(prepared, params, client=client)
+            result = self.fallback.execute(prepared, params, client=client, trace=trace)
             self.stats.queries += 1
             self.stats.fallback_queries += 1
             return result
 
+        trace.client = client
+        trace.template = prepared.name
+        trace.started_s = started
         binding = prepared.binding_key(params)
         epochs = self._epoch_snapshot(prepared)
         cache_key = ResultCache.key(prepared.fingerprint, binding, epochs)
@@ -316,19 +330,36 @@ class ShardedQueryService:
                 self.stats.queries += 1
                 self.stats.result_cache_hits += 1
                 result = self._cached_result(prepared, bound, cached)
-                result.wall_seconds = time.perf_counter() - started
+                result.wall_seconds = monotonic_s() - started
+                trace.source = result.source
+                trace.total_s = result.wall_seconds
+                result.trace = trace
                 return result
         try:
-            with self.admission.admit(client, timeout=self.settings.admission_timeout):
-                result = self._serve_scatter(prepared, bound)
-        except Exception:
+            with self.admission.admit(
+                client, timeout=self.settings.admission_timeout
+            ) as queue_wait:
+                trace.queue_wait_s += queue_wait
+                result = self._serve_scatter(prepared, bound, trace)
+        except BackpressureError as error:
+            # Only backpressure counts as a rejection: an execution error is
+            # a failed query, not a shed one (conflating them made the
+            # coordinator's shed-rate meaningless under fault injection).
+            trace.outcome = error.kind if error.kind in ("shed", "timeout") else "shed"
+            trace.queue_wait_s += error.waited_s
+            trace.total_s = monotonic_s() - started
             self.stats.rejected += 1
             raise
         if self.settings.use_result_cache:
             self.result_cache.put(cache_key, result.execution)
         self.stats.queries += 1
         self.stats.scatter_queries += 1
-        result.wall_seconds = time.perf_counter() - started
+        result.wall_seconds = monotonic_s() - started
+        trace.source = result.source
+        trace.validation_s = result.validation_seconds
+        trace.planning_s = result.planning_seconds
+        trace.total_s = result.wall_seconds
+        result.trace = trace
         return result
 
     def admission_stats(self) -> AdmissionStats:
@@ -525,7 +556,10 @@ class ShardedQueryService:
         return applied
 
     def _serve_scatter(
-        self, prepared: PreparedStatement, bound: Query
+        self,
+        prepared: PreparedStatement,
+        bound: Query,
+        trace: Optional[RequestTrace] = None,
     ) -> ServiceResult:
         """Plan per shard, scatter, merge bit-identically, gossip Γ."""
         plans: List[PlanNode] = []
@@ -544,13 +578,18 @@ class ShardedQueryService:
             if drift is not None:
                 worst_drift = drift if worst_drift is None else max(worst_drift, drift)
         mode = self._merge_mode(bound)
+        scatter_started = monotonic_s()
         outcomes = self._scatter(plans, bound, mode)
+        merge_started = monotonic_s()
         if mode == "partial":
             execution = self._merge_partial(outcomes, bound)
             self.stats.partial_merges += 1
         else:
             execution = self._merge_gather(outcomes, plans, bound)
             self.stats.gather_merges += 1
+        if trace is not None:
+            trace.execution_s += merge_started - scatter_started
+            trace.merge_s += monotonic_s() - merge_started
         self._gossip(prepared, outcomes)
         return ServiceResult(
             statement=prepared,

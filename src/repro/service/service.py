@@ -35,11 +35,11 @@ even when their join orders differ.
 from __future__ import annotations
 
 import threading
-import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Sequence, Tuple, Union
 
+from repro.bench.clock import monotonic_s
 from repro.cardinality.gamma import Gamma
 from repro.cardinality.sampling_estimator import validate_plan_for_bindings
 from repro.executor.executor import (
@@ -60,6 +60,7 @@ from repro.reopt.algorithm import ReoptimizationResult, ReoptimizationSettings, 
 from repro.service.admission import AdmissionController, AdmissionStats, BackpressureError
 from repro.service.cache import PlanCacheEntry, ResultCache, ResultCacheStats, max_drift
 from repro.service.templates import PreparedStatement, StatementRegistry
+from repro.service.tracing import RequestTrace
 from repro.sql.ast import Bindings, Query
 from repro.storage.catalog import Database
 
@@ -167,6 +168,9 @@ class ServiceResult:
     planning_seconds: float = 0.0
     #: Total service-side latency (admission wait included).
     wall_seconds: float = 0.0
+    #: Per-stage latency accounting of this request (queue wait, validation,
+    #: planning, execution, merge) on the shared monotonic clock.
+    trace: Optional[RequestTrace] = None
 
     @property
     def num_rows(self) -> int:
@@ -332,8 +336,14 @@ class QueryService:
         statement: Union[str, Query, PreparedStatement],
         params: Optional[Bindings] = None,
         client: str = "default",
+        trace: Optional[RequestTrace] = None,
     ) -> ServiceResult:
         """Serve one execution of ``statement`` bound to ``params``.
+
+        ``trace`` (optional) is filled with per-stage latency accounting —
+        pass one in to keep it even when the request is shed; otherwise a
+        fresh trace is created and attached to the returned result either
+        way.
 
         Raises
         ------
@@ -344,17 +354,30 @@ class QueryService:
         """
         if self._closed:
             raise RuntimeError("QueryService is closed")
-        started = time.perf_counter()
+        if trace is None:
+            trace = RequestTrace(client=client)
+        trace.client = client
+        started = monotonic_s()
+        trace.started_s = started
         prepared = self.prepare(statement)
+        trace.template = prepared.name
         bound = prepared.bind(params)
         binding = prepared.binding_key(params)
         try:
-            result = self._serve_coalesced(prepared, bound, binding, client)
-        except BackpressureError:
+            result = self._serve_coalesced(prepared, bound, binding, client, trace)
+        except BackpressureError as error:
+            trace.outcome = error.kind if error.kind in ("shed", "timeout") else "shed"
+            trace.queue_wait_s += error.waited_s
+            trace.total_s = monotonic_s() - started
             with self._stats_lock:
                 self.stats.rejected += 1
             raise
-        result.wall_seconds = time.perf_counter() - started
+        result.wall_seconds = monotonic_s() - started
+        trace.source = result.source
+        trace.validation_s = result.validation_seconds
+        trace.planning_s = result.planning_seconds
+        trace.total_s = result.wall_seconds
+        result.trace = trace
         with self._stats_lock:
             self.stats.queries += 1
             self.stats.validation_seconds += result.validation_seconds
@@ -442,7 +465,12 @@ class QueryService:
         )
 
     def _serve_coalesced(
-        self, prepared: PreparedStatement, bound: Query, binding: Tuple, client: str
+        self,
+        prepared: PreparedStatement,
+        bound: Query,
+        binding: Tuple,
+        client: str,
+        trace: RequestTrace,
     ) -> ServiceResult:
         """Result cache → singleflight coalescing → admission → execution.
 
@@ -451,12 +479,18 @@ class QueryService:
         execution — consumes no execution slot at all.  Coalescing is what
         keeps a thundering herd of identical requests at one execution: the
         first becomes the leader, the rest wait on its event and read the
-        published result; if the leader fails, each waiter retries (and one
-        becomes the next leader).
+        published result; if the leader fails — planning/execution error,
+        shed by admission, anything — its ``finally`` always deregisters the
+        flight and releases the followers, each of which retries from the
+        top (and one becomes the next leader).  A follower is never
+        stranded on a dead leader's event and never poisoned by its error.
         """
         if not self.settings.use_result_cache:
-            with self.admission.admit(client, timeout=self.settings.admission_timeout):
-                return self._serve(prepared, bound, binding)
+            with self.admission.admit(
+                client, timeout=self.settings.admission_timeout
+            ) as queue_wait:
+                trace.queue_wait_s += queue_wait
+                return self._serve(prepared, bound, binding, trace)
 
         while True:
             epochs = self.db.epoch_snapshot(prepared.tables)
@@ -473,31 +507,44 @@ class QueryService:
                 if leader:
                     event = threading.Event()
                     self._in_flight[cache_key] = event
-            if not leader:
-                # The admission_timeout cap applies to coalesced waiters too:
-                # a leader stuck in a long queue must not hold its followers
-                # past the latency bound they were configured with.
-                if not event.wait(timeout=self.settings.admission_timeout):
-                    raise BackpressureError(
-                        f"client {client!r} timed out waiting for a coalesced "
-                        "in-flight execution"
-                    )
-                cached = self.result_cache.get(cache_key)
-                if cached is not None:
-                    with self._stats_lock:
-                        self.stats.coalesced += 1
-                    return self._cached_result(prepared, bound, cached, "coalesced")
-                continue  # leader failed or epochs moved: retry from the top
+            if leader:
+                # Nothing may run between registering the flight and this
+                # try: the finally below is the *only* thing standing
+                # between a crashed leader and stranded followers.
+                try:
+                    with self.admission.admit(
+                        client, timeout=self.settings.admission_timeout
+                    ) as queue_wait:
+                        trace.queue_wait_s += queue_wait
+                        return self._serve(prepared, bound, binding, trace)
+                finally:
+                    with self._in_flight_guard:
+                        self._in_flight.pop(cache_key, None)
+                    event.set()
 
-            try:
-                with self.admission.admit(
-                    client, timeout=self.settings.admission_timeout
-                ):
-                    return self._serve(prepared, bound, binding)
-            finally:
-                with self._in_flight_guard:
-                    self._in_flight.pop(cache_key, None)
-                event.set()
+            # Follower: ride on the leader's in-flight execution.  The
+            # admission_timeout cap applies to coalesced waiters too: a
+            # leader stuck in a long queue must not hold its followers past
+            # the latency bound they were configured with.
+            wait_started = monotonic_s()
+            released = event.wait(timeout=self.settings.admission_timeout)
+            waited = monotonic_s() - wait_started
+            if not released:
+                # waited_s travels on the error; execute() charges it to the
+                # trace's queue-wait stage exactly once.
+                raise BackpressureError(
+                    f"client {client!r} timed out waiting for a coalesced "
+                    "in-flight execution",
+                    kind="timeout",
+                    waited_s=waited,
+                )
+            trace.queue_wait_s += waited
+            cached = self.result_cache.get(cache_key)
+            if cached is not None:
+                with self._stats_lock:
+                    self.stats.coalesced += 1
+                return self._cached_result(prepared, bound, cached, "coalesced")
+            continue  # leader failed or epochs moved: retry from the top
 
     def _ensure_samples(self) -> None:
         """Recreate sample tables if a catalog change dropped them.
@@ -517,7 +564,11 @@ class QueryService:
                     )
 
     def _serve(
-        self, prepared: PreparedStatement, bound: Query, binding: Tuple
+        self,
+        prepared: PreparedStatement,
+        bound: Query,
+        binding: Tuple,
+        trace: Optional[RequestTrace] = None,
     ) -> ServiceResult:
         """Plan (through the guarded cache) and execute one admitted request."""
         self._ensure_samples()
@@ -528,7 +579,7 @@ class QueryService:
         plan, source, drift, validation_seconds, planning_seconds = self._plan_for(
             prepared, bound
         )
-        execution = self._execute_plan(plan, bound)
+        execution = self._execute_plan(plan, bound, trace=trace)
         if self.settings.use_result_cache:
             self.result_cache.put(
                 ResultCache.key(prepared.fingerprint, binding, epochs), execution
@@ -602,9 +653,9 @@ class QueryService:
     ) -> Tuple[PlanNode, str, Optional[float], float, float]:
         """Return ``(plan, source, drift, validation_seconds, planning_seconds)``."""
         if not self.settings.use_plan_cache:
-            planning_started = time.perf_counter()
+            planning_started = monotonic_s()
             result = self._run_algorithm1(bound, session=None, gamma=None)
-            planning_seconds = time.perf_counter() - planning_started
+            planning_seconds = monotonic_s() - planning_started
             with self._stats_lock:
                 self.stats.fresh_plans += 1
             return result.final_plan, "fresh", None, 0.0, planning_seconds
@@ -612,10 +663,10 @@ class QueryService:
         with self._template_lock(prepared.fingerprint):
             entry = self._plan_cache_get(prepared.fingerprint)
             if entry is None:
-                planning_started = time.perf_counter()
+                planning_started = monotonic_s()
                 session = self.optimizer.planning_session(bound)
                 result = self._run_algorithm1(bound, session=session, gamma=None)
-                planning_seconds = time.perf_counter() - planning_started
+                planning_seconds = monotonic_s() - planning_started
                 self._plan_cache_put(
                     prepared.fingerprint,
                     PlanCacheEntry(
@@ -666,7 +717,7 @@ class QueryService:
             # with the Δ just sampled (those join sets are already validated),
             # through the template's rebound planning session.
             entry.rejections += 1
-            planning_started = time.perf_counter()
+            planning_started = monotonic_s()
             gamma = Gamma()
             # Sibling-shard exact observations first, the fresh Δ second:
             # exact provenance survives the sampled merge (a sampled value
@@ -678,7 +729,7 @@ class QueryService:
                 entry.session.rebind(bound) if entry.session is not None else None
             )
             result = self._run_algorithm1(bound, session=session, gamma=gamma)
-            planning_seconds = time.perf_counter() - planning_started
+            planning_seconds = monotonic_s() - planning_started
             entry.plan = result.final_plan
             entry.bound_query = bound
             entry.expectations = dict(result.gamma.items())
@@ -719,7 +770,9 @@ class QueryService:
             intermediates=registry,
         )
 
-    def _execute_plan(self, plan: PlanNode, query: Query) -> ExecutionResult:
+    def _execute_plan(
+        self, plan: PlanNode, query: Query, trace: Optional[RequestTrace] = None
+    ) -> ExecutionResult:
         """Execute ``plan`` with plan-independent output determinism.
 
         Order-insensitive outputs (``COUNT``/``MIN``/``MAX`` aggregates with
@@ -729,15 +782,25 @@ class QueryService:
         output (or aggregation) stage, so any two correct plans of the same
         bound query — cached, replanned, or from scratch — produce
         byte-identical results.
+
+        When a ``trace`` is given, the join pipeline is charged to its
+        ``execution_s`` stage and the canonical sort + final stage to
+        ``merge_s``.
         """
         if not needs_canonical_order(query):
-            return self._make_executor().execute_plan(plan, query)
+            started = monotonic_s()
+            result = self._make_executor().execute_plan(plan, query)
+            if trace is not None:
+                trace.execution_s += monotonic_s() - started
+            return result
 
         join_plan, aggregate_node = split_final_aggregate(plan)
         registry = IntermediateRegistry()
         executor = self._make_executor(registry)
         required = required_columns(plan, query)
+        started = monotonic_s()
         fragment = executor.execute_fragment(join_plan, required)
+        executed = monotonic_s()
         relation = canonicalize_relation(fragment.columns)
         final_execution = finalize_canonical_execution(
             executor,
@@ -747,6 +810,9 @@ class QueryService:
             aggregate_node,
             source_signature=join_plan.signature(),
         )
+        if trace is not None:
+            trace.execution_s += executed - started
+            trace.merge_s += monotonic_s() - executed
         return combine_execution_accounting(
             [fragment], final_execution, executor.cost_model
         )

@@ -1,0 +1,183 @@
+"""Load generator: schedule reproducibility, aggregation, end-to-end runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.loadgen import (
+    LoadgenConfig,
+    ScheduledRequest,
+    TemplateMix,
+    build_schedule,
+    run_load,
+    zipf_weights,
+)
+from repro.bench.reporting import stage_breakdown, summarize_latencies
+from repro.service import QueryService, ServiceSettings
+from repro.service.tracing import RequestTrace
+from repro.sql.builder import QueryBuilder
+from repro.workloads.ott import generate_ott_database
+
+
+@pytest.fixture(scope="module")
+def loadgen_db():
+    return generate_ott_database(
+        num_tables=4, rows_per_table=2000, rows_per_value=40, seed=11, sampling_ratio=0.25
+    )
+
+
+@pytest.fixture(scope="module")
+def loadgen_mix():
+    pairs = (
+        QueryBuilder("lg_pairs")
+        .table("r1").table("r2")
+        .filter_param("r1", "a", "=")
+        .join("r1", "b", "r2", "b")
+        .aggregate("count", output_name="n")
+        .build()
+    )
+    triples = (
+        QueryBuilder("lg_triples")
+        .table("r1").table("r3")
+        .filter_param("r3", "a", "=")
+        .join("r1", "b", "r3", "b")
+        .aggregate("count", output_name="n")
+        .build()
+    )
+    return TemplateMix.build(
+        [pairs, triples],
+        {"lg_pairs": [[0], [1], [2]], "lg_triples": [[0], [1]]},
+    )
+
+
+class TestSchedule:
+    def test_schedule_is_bit_reproducible(self, loadgen_mix):
+        for mode in ("open", "closed"):
+            config = LoadgenConfig(mode=mode, num_requests=64, target_qps=100.0, seed=23)
+            assert build_schedule(config, loadgen_mix) == build_schedule(config, loadgen_mix)
+
+    def test_different_seeds_differ(self, loadgen_mix):
+        base = LoadgenConfig(mode="open", num_requests=64, seed=1)
+        other = LoadgenConfig(mode="open", num_requests=64, seed=2)
+        assert build_schedule(base, loadgen_mix) != build_schedule(other, loadgen_mix)
+
+    def test_open_loop_arrivals_are_increasing_at_the_target_rate(self, loadgen_mix):
+        config = LoadgenConfig(mode="open", num_requests=400, target_qps=50.0, seed=7)
+        schedule = build_schedule(config, loadgen_mix)
+        arrivals = [request.arrival_s for request in schedule]
+        assert all(later >= earlier for earlier, later in zip(arrivals, arrivals[1:]))
+        # Mean inter-arrival of an exponential(1/qps) process: 1/50 s +- noise.
+        mean_gap = arrivals[-1] / (len(arrivals) - 1)
+        assert 0.014 <= mean_gap <= 0.028
+
+    def test_closed_loop_assigns_clients_round_robin(self, loadgen_mix):
+        config = LoadgenConfig(mode="closed", num_requests=12, num_clients=3, seed=7)
+        schedule = build_schedule(config, loadgen_mix)
+        assert [request.client for request in schedule[:3]] == [
+            "client0", "client1", "client2"
+        ]
+        per_client = {}
+        for request in schedule:
+            per_client[request.client] = per_client.get(request.client, 0) + 1
+        assert per_client == {"client0": 4, "client1": 4, "client2": 4}
+
+    def test_zipf_skew_prefers_low_ranks(self, loadgen_mix):
+        weights = zipf_weights(5, 1.0)
+        assert weights[0] > weights[1] > weights[4]
+        assert weights.sum() == pytest.approx(1.0)
+        uniform = zipf_weights(5, 0.0)
+        assert np.allclose(uniform, 0.2)
+        config = LoadgenConfig(mode="open", num_requests=500, zipf_s=1.5, seed=3)
+        schedule = build_schedule(config, loadgen_mix)
+        counts = np.zeros(len(loadgen_mix.pairs()))
+        pair_rank = {pair: rank for rank, pair in enumerate(loadgen_mix.pairs())}
+        for request in schedule:
+            counts[pair_rank[(request.template_index, request.binding_index)]] += 1
+        assert counts[0] > counts[-1]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            LoadgenConfig(mode="sideways")
+        with pytest.raises(ValueError, match="num_requests"):
+            LoadgenConfig(num_requests=0)
+        with pytest.raises(ValueError, match="target_qps"):
+            LoadgenConfig(mode="open", target_qps=0.0)
+        with pytest.raises(ValueError, match="num_clients"):
+            LoadgenConfig(mode="closed", num_clients=0)
+
+
+class TestAggregation:
+    def test_summarize_latencies(self):
+        summary = summarize_latencies([0.001 * k for k in range(1, 101)])
+        assert summary.count == 100
+        assert summary.mean_s == pytest.approx(0.0505)
+        assert summary.p50_s == pytest.approx(0.0505)
+        assert summary.p99_s == pytest.approx(0.09901, rel=1e-3)
+        assert summary.max_s == pytest.approx(0.1)
+        assert summarize_latencies([]).count == 0
+        assert set(summary.as_dict()) == {
+            "count", "mean_s", "p50_s", "p95_s", "p99_s", "max_s"
+        }
+
+    def test_stage_breakdown_means_and_overhead(self):
+        traces = [
+            RequestTrace(queue_wait_s=0.2, execution_s=0.4, total_s=1.0),
+            RequestTrace(queue_wait_s=0.0, execution_s=0.6, total_s=0.8),
+        ]
+        breakdown = stage_breakdown(traces)
+        assert breakdown["queue_wait_s"] == pytest.approx(0.1)
+        assert breakdown["execution_s"] == pytest.approx(0.5)
+        # (1.0 - 0.6) and (0.8 - 0.6) of unaccounted wall time, averaged.
+        assert breakdown["overhead_s"] == pytest.approx(0.3)
+        assert stage_breakdown([]) == {
+            name: 0.0 for name in breakdown
+        }
+
+
+class TestRunLoad:
+    def test_open_and_closed_runs_complete_and_agree(self, loadgen_db, loadgen_mix):
+        open_config = LoadgenConfig(
+            mode="open", num_requests=30, target_qps=300.0, seed=5
+        )
+        closed_config = LoadgenConfig(
+            mode="closed", num_requests=30, num_clients=3, think_time_s=0.0, seed=5
+        )
+        with QueryService(loadgen_db) as service:
+            open_run = run_load(service, loadgen_mix, open_config)
+        with QueryService(loadgen_db) as service:
+            closed_run = run_load(service, loadgen_mix, closed_config)
+        for run in (open_run, closed_run):
+            assert run.offered == 30
+            assert run.completed == 30
+            assert run.shed == 0 and run.timed_out == 0
+            assert run.shed_rate == 0.0
+            assert run.achieved_qps > 0
+            assert run.latency.count == 30
+            assert len(run.traces) == 30
+            assert sum(run.sources.values()) == 30
+        # The same seed serves the same (template, binding) pairs in both
+        # modes, and the query outputs are bit-identical across them.
+        assert set(open_run.outputs) == set(closed_run.outputs)
+        for key, columns in open_run.outputs.items():
+            for name, values in columns.items():
+                assert np.array_equal(values, closed_run.outputs[key][name])
+
+    def test_shed_requests_are_counted_not_raised(self, loadgen_db, loadgen_mix):
+        settings = ServiceSettings(
+            max_concurrent=1, max_queued=0, use_result_cache=False,
+            use_plan_cache=True,
+        )
+        config = LoadgenConfig(
+            mode="open", num_requests=40, target_qps=2000.0, seed=5,
+            open_loop_workers=8,
+        )
+        with QueryService(loadgen_db, settings=settings) as service:
+            run = run_load(service, loadgen_mix, config)
+        assert run.offered == 40
+        assert run.completed + run.shed + run.timed_out == 40
+        assert run.shed > 0  # the queue-less gate must have shed load
+        assert run.shed_rate == pytest.approx((run.shed + run.timed_out) / 40)
+        shed_traces = [trace for trace in run.traces if trace.outcome == "shed"]
+        assert len(shed_traces) == run.shed
+        assert all(trace.total_s > 0 for trace in shed_traces)

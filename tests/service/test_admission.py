@@ -42,6 +42,8 @@ class TestBounds:
         with pytest.raises(BackpressureError):
             controller.acquire("c")
         assert controller.stats.rejected == 1
+        assert controller.stats.shed == 1
+        assert controller.stats.timed_out == 0
         assert controller.stats.per_client_rejected["c"] == 1
         controller.release()  # waiter takes the slot
         assert entered.wait(timeout=5)
@@ -53,37 +55,55 @@ class TestBounds:
     def test_timeout_sheds_the_waiter(self):
         controller = AdmissionController(max_concurrent=1, max_queued=4)
         controller.acquire("a")
-        with pytest.raises(BackpressureError, match="timed out"):
+        with pytest.raises(BackpressureError, match="timed out") as excinfo:
             controller.acquire("b", timeout=0.02)
+        assert excinfo.value.kind == "timeout"
+        assert excinfo.value.waited_s >= 0.02
+        assert controller.stats.timed_out == 1
+        assert controller.stats.shed == 0
+        assert controller.stats.rejected == 1
         controller.release()
         # The withdrawn ticket must not block later admissions.
         controller.acquire("b")
         assert controller.in_flight == 1
 
-    def test_timeout_is_a_deadline_not_per_wakeup(self):
-        """Repeated passed-over wakeups must not restart the timeout clock."""
-        controller = AdmissionController(max_concurrent=1, max_queued=8)
+    def test_rejected_is_the_sum_of_shed_and_timed_out(self):
+        """Backward compat: ``rejected`` totals both rejection classes."""
+        controller = AdmissionController(max_concurrent=1, max_queued=0)
         controller.acquire("holder")
-        churn_stop = threading.Event()
+        with pytest.raises(BackpressureError) as excinfo:
+            controller.acquire("full")  # queue full -> shed
+        assert excinfo.value.kind == "shed"
+        bigger = AdmissionController(max_concurrent=1, max_queued=4)
+        bigger.acquire("holder")
+        with pytest.raises(BackpressureError):
+            bigger.acquire("slow", timeout=0.01)  # deadline -> timed out
+        assert controller.stats.shed == 1 and controller.stats.timed_out == 0
+        assert bigger.stats.shed == 0 and bigger.stats.timed_out == 1
+        for stats in (controller.stats, bigger.stats):
+            assert stats.rejected == stats.shed + stats.timed_out == 1
+        snapshot = bigger.stats_snapshot()
+        assert (snapshot.shed, snapshot.timed_out, snapshot.rejected) == (0, 1, 1)
 
-        def churn():
-            # Keep notifying the condition without ever freeing the slot for
-            # the timed waiter (grant + immediate re-acquire by this thread).
-            while not churn_stop.is_set():
-                with controller._lock:
-                    controller._slots_available.notify_all()
-                time.sleep(0.01)
+    def test_acquire_reports_queue_wait_on_the_shared_clock(self):
+        controller = AdmissionController(max_concurrent=1, max_queued=4)
+        assert controller.acquire("fast") == 0.0  # uncontended fast path
+        waited = []
+        done = threading.Event()
 
-        churner = threading.Thread(target=churn)
-        churner.start()
-        started = time.monotonic()
-        try:
-            with pytest.raises(BackpressureError, match="timed out"):
-                controller.acquire("victim", timeout=0.1)
-        finally:
-            churn_stop.set()
-            churner.join(timeout=5)
-        assert time.monotonic() - started < 2.0
+        def waiter():
+            waited.append(controller.acquire("queued"))
+            done.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        while controller.queued < 1:
+            time.sleep(0.001)
+        time.sleep(0.02)
+        controller.release()
+        assert done.wait(timeout=5)
+        thread.join(timeout=5)
+        assert waited[0] >= 0.015  # the waiter really waited
         controller.release()
 
     def test_idle_clients_are_pruned_from_scheduling_state(self):
@@ -160,3 +180,38 @@ class TestFairness:
         assert order[1] == "b" or order[0] == "b"
         assert controller.stats.admitted == 5
         assert controller.in_flight == 0
+
+
+class TestWakeupBound:
+    def test_draining_n_waiters_costs_n_wakeups(self):
+        """Thundering-herd regression: each grant wakes exactly one waiter.
+
+        The original implementation broadcast ``notify_all`` on a shared
+        condition for every release, waking every queued waiter per grant —
+        O(n^2) wakeups to drain n waiters.  With per-ticket events, draining
+        n waiters must cost exactly n wakeups."""
+        n = 8
+        controller = AdmissionController(max_concurrent=1, max_queued=n)
+        controller.acquire("holder")
+
+        threads = []
+
+        def run(client):
+            with controller.admit(client):
+                time.sleep(0.002)
+
+        for index in range(n):
+            thread = threading.Thread(target=run, args=(f"c{index}",))
+            thread.start()
+            threads.append(thread)
+            while controller.queued < index + 1:
+                time.sleep(0.001)
+
+        assert controller.stats.wakeups == 0  # nothing granted yet
+        controller.release()  # waiters drain one release at a time
+        for thread in threads:
+            thread.join(timeout=5)
+        assert controller.in_flight == 0
+        assert controller.stats.admitted == n + 1
+        # One wakeup per queued grant — not O(n) per release.
+        assert controller.stats.wakeups == n
